@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each bench module reproduces one experiment id from DESIGN.md §3 and
+prints the table the paper's claim corresponds to; assertions pin the
+*shape* (who wins, by what law), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import lp_distribution
+from repro.streams import vector_to_stream
+
+
+def run_sampler_trials(vector, factory, trials, stream_seed=99):
+    """Build `trials` independent samplers on the same stream; collect
+    their SampleResults."""
+    stream = vector_to_stream(vector, seed=stream_seed)
+    results = []
+    for t in range(trials):
+        sampler = factory(t)
+        stream.apply_to(sampler)
+        results.append(sampler.sample())
+    return results
+
+
+def conditional_tv(results, vector, p, head: int | None = None):
+    """TV distance between the empirical conditioned-on-success output
+    distribution and the exact Lp distribution.
+
+    With ``head = k`` the distributions are coarsened to the k heaviest
+    coordinates plus one aggregated tail bucket before comparing —
+    coarsening only lowers TV, so the paper's bound still applies, and
+    it removes the sqrt(support/samples) noise floor that swamps the
+    full-support statistic at benchmark sample counts.
+    """
+    universe = np.asarray(vector).size
+    counts = np.zeros(universe, dtype=np.float64)
+    successes = 0
+    for r in results:
+        if not r.failed:
+            counts[r.index] += 1
+            successes += 1
+    if successes == 0:
+        return 1.0, 0
+    emp = counts / successes
+    truth = lp_distribution(vector, p)
+    if head is not None and head < universe:
+        top = np.argsort(-truth)[:head]
+        emp = np.append(emp[top], 1.0 - emp[top].sum())
+        truth = np.append(truth[top], 1.0 - truth[top].sum())
+    return 0.5 * float(np.abs(emp - truth).sum()), successes
+
+
+def print_table(title, header, rows):
+    """Render a fixed-width results table to stdout."""
+    print(f"\n## {title}")
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,102 @@
+"""E18/E19 (ablations): the Figure 1 constants actually bind.
+
+E18 — the tail-abort test ``s > tail_slack * beta * sqrt(m) * r``:
+loosening ``tail_slack`` trades failure rate against estimate quality,
+confirming the abort test is what protects the eps error bound (drop it
+entirely and bad estimates slip through).
+
+E19 — the success-probability law: one round succeeds with probability
+Theta(eps), so halving eps should roughly halve the success rate — the
+linear law behind the v = O(log(1/delta)/eps) repetition count of
+Theorem 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LpSamplerRound
+from repro.core.params import LpSamplerConfig
+from repro.streams import vector_to_stream, zipf_vector
+
+from _common import print_table
+
+N = 300
+TRIALS = 250
+
+
+def experiment_tail_slack():
+    # A near-uniform vector with a deliberately small count-sketch
+    # (m_const = 2 instead of the default 8) puts the round in the
+    # regime where Err^m_2(z) actually challenges beta*sqrt(m)*||x||_p
+    # and the abort test earns its keep.
+    rng = np.random.default_rng(51)
+    vec = rng.integers(1, 4, size=N).astype(np.int64)
+    stream = vector_to_stream(vec, seed=51)
+    rows = []
+    stats = {}
+    for slack in (0.25, 1.0, 4.0):  # tight / paper / loose
+        config = LpSamplerConfig(tail_slack=slack, m_const=2.0)
+        successes = aborts = bad_estimates = 0
+        for t in range(TRIALS):
+            rnd = LpSamplerRound(N, 1.5, 0.25, seed=13000 + t,
+                                 config=config)
+            stream.apply_to(rnd)
+            result = rnd.sample()
+            if result.reason == "tail-too-heavy":
+                aborts += 1
+                continue
+            if result.failed:
+                continue
+            successes += 1
+            truth = vec[result.index]
+            if truth == 0 or abs(result.estimate - truth) / abs(truth) \
+                    > 0.25:
+                bad_estimates += 1
+        stats[slack] = (successes, aborts, bad_estimates)
+        rows.append([slack, f"{successes / TRIALS:.3f}",
+                     f"{aborts / TRIALS:.3f}", bad_estimates])
+    return rows, stats
+
+
+def test_e18_tail_slack(benchmark):
+    rows, stats = benchmark.pedantic(experiment_tail_slack, rounds=1,
+                                     iterations=1)
+    print_table("E18: tail-abort ablation, p=1.5, eps=0.25, m_const=2 "
+                "(slack=1 is the paper's test)",
+                ["tail_slack", "success rate", "abort rate",
+                 "bad estimates"], rows)
+    # tightening the abort strictly trades success for aborts ...
+    assert stats[0.25][1] > stats[1.0][1] > stats[4.0][1]
+    assert stats[0.25][0] <= stats[1.0][0] <= stats[4.0][0]
+    # ... while the estimate guarantee holds in the paper's regime
+    assert stats[1.0][2] <= max(2, 0.1 * max(1, stats[1.0][0]))
+
+
+def experiment_success_law():
+    vec = zipf_vector(N, scale=500, seed=53)
+    stream = vector_to_stream(vec, seed=53)
+    rows = []
+    rates = []
+    for eps in (0.4, 0.2, 0.1):
+        successes = 0
+        for t in range(TRIALS):
+            rnd = LpSamplerRound(N, 1.0, eps, seed=14000 + t)
+            stream.apply_to(rnd)
+            if not rnd.sample().failed:
+                successes += 1
+        rates.append(successes / TRIALS)
+        rows.append([eps, f"{successes / TRIALS:.3f}",
+                     f"{successes / TRIALS / eps:.2f}"])
+    return rows, rates
+
+
+def test_e19_success_linear_in_eps(benchmark):
+    rows, rates = benchmark.pedantic(experiment_success_law, rounds=1,
+                                     iterations=1)
+    print_table("E19: round success rate vs eps (law: Theta(eps))",
+                ["eps", "success rate", "rate/eps"], rows)
+    # rate/eps must be a stable constant across a 4x eps range
+    ratios = [r / e for r, e in zip(rates, (0.4, 0.2, 0.1))]
+    assert max(ratios) <= 2.5 * min(ratios)
+    # and the rate must actually fall as eps falls
+    assert rates[0] > rates[-1]

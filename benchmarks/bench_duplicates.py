@@ -1,0 +1,69 @@
+"""E5 (Theorem 3 vs GR [14]): duplicates in length-(n+1) streams.
+
+Paper claims: O(log^2 n log 1/delta) bits, failure <= delta, wrong
+output only with low probability — improving the O(log^3 n) of
+Gopalan–Radhakrishnan.
+
+Measured: success rate and wrong-output rate over random and planted
+worst-case streams; space of ours vs the GR-shaped baseline across n.
+"""
+
+import pytest
+
+from repro.apps.duplicates import DuplicateFinder
+from repro.baselines.gr_duplicates import GRDuplicatesBaseline
+from repro.streams import duplicate_stream, planted_duplicate_stream
+
+from _common import print_table
+
+N = 256
+DELTA = 0.2
+TRIALS = 10
+
+
+def experiment_success():
+    rows = []
+    for workload, gen in (("random", duplicate_stream),
+                          ("planted-1-dup", planted_duplicate_stream)):
+        found = wrong = 0
+        for seed in range(TRIALS):
+            inst = gen(N, seed=seed)
+            finder = DuplicateFinder(N, delta=DELTA, seed=seed,
+                                     sampler_rounds=6)
+            finder.process_items(inst.items)
+            result = finder.result()
+            if result.failed:
+                continue
+            found += 1
+            if result.index not in set(inst.duplicates.tolist()):
+                wrong += 1
+        rows.append([workload, f"{found}/{TRIALS}", wrong])
+    return rows
+
+
+def test_e5_success(benchmark):
+    rows = benchmark.pedantic(experiment_success, rounds=1, iterations=1)
+    print_table(f"E5: Theorem 3 duplicates, n={N}, delta={DELTA}",
+                ["workload", "found", "wrong outputs"], rows)
+    for row in rows:
+        found = int(row[1].split("/")[0])
+        assert found >= TRIALS * (1 - DELTA) - 2
+        assert row[2] == 0
+
+
+def test_e5_space_vs_gr(benchmark):
+    def measure():
+        rows, ratios = [], []
+        for log_n in (7, 10, 13, 16):
+            ours = DuplicateFinder(1 << log_n, delta=DELTA, seed=1,
+                                   sampler_rounds=2).space_bits()
+            gr = GRDuplicatesBaseline(1 << log_n, delta=DELTA, seed=1,
+                                      sampler_rounds=2).space_bits()
+            ratios.append(gr / ours)
+            rows.append([log_n, ours, gr, f"{gr / ours:.2f}"])
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("E5b: duplicates space (ours log^2 n vs GR-shape log^3 n)",
+                ["log2 n", "ours (bits)", "GR (bits)", "GR/ours"], rows)
+    assert ratios[-1] > 1.4 * ratios[0]

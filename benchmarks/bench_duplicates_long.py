@@ -1,0 +1,54 @@
+"""E7 (Section 3 closing): duplicates in streams of length n + s.
+
+Paper claim: O(min{log^2 n, (n/s) log n}) bits — position sampling when
+duplicates are plentiful (n/s < log n), the Theorem 3 sampler otherwise;
+the crossover sits at n/s ~ log n.
+
+Measured: chosen strategy, space and success rate across an s sweep
+straddling the crossover.
+"""
+
+import pytest
+
+from repro.apps.duplicates import LongStreamDuplicateFinder
+from repro.streams import long_stream
+
+from _common import print_table
+
+N = 1024  # log2 n = 10: crossover at s ~ n / log n ~ 102
+TRIALS = 8
+
+
+def experiment():
+    rows = []
+    for s in (8, 64, 256, 1024):
+        found = 0
+        finder = None
+        for seed in range(TRIALS):
+            inst = long_stream(N, extra=s, seed=seed)
+            finder = LongStreamDuplicateFinder(N, extra=s, delta=0.2,
+                                               seed=seed)
+            finder.process_items(inst.items)
+            result = finder.result()
+            if not result.failed and result.index in set(
+                    inst.duplicates.tolist()):
+                found += 1
+        rows.append([s, finder.strategy, finder.space_bits(),
+                     f"{found}/{TRIALS}"])
+    return rows
+
+
+def test_e7_crossover(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(f"E7: n+s streams, n={N} (crossover at n/s = log n ~ "
+                f"{N // 10})",
+                ["s", "strategy", "bits", "found true duplicate"], rows)
+    by_s = {row[0]: row for row in rows}
+    # strategy flips across the crossover
+    assert by_s[8][1] == "sampler"
+    assert by_s[1024][1] == "positions"
+    # the position strategy is much cheaper when s is huge
+    assert by_s[1024][2] < by_s[8][2]
+    # success at both extremes
+    assert int(by_s[8][3].split("/")[0]) >= TRIALS - 3
+    assert int(by_s[1024][3].split("/")[0]) >= TRIALS - 2

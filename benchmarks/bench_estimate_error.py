@@ -1,0 +1,50 @@
+"""E2 (Theorem 1): the relative error of the returned x_i estimate.
+
+Paper claim: the sampler outputs, alongside the sampled index i, an
+estimate of x_i whose relative error exceeds eps only with low
+probability (Lemma 4, last paragraph).
+
+Measured: the fraction of successful rounds whose estimate errs by more
+than eps, and the median relative error, across p and eps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LpSamplerRound
+from repro.streams import zipf_vector
+
+from _common import print_table, run_sampler_trials
+
+N = 400
+TRIALS = 300
+
+
+def experiment(p, eps):
+    vec = zipf_vector(N, scale=900, seed=13)
+    results = run_sampler_trials(
+        vec, lambda t: LpSamplerRound(N, p, eps, seed=7000 + t), TRIALS)
+    errors = [abs(r.estimate - vec[r.index]) / abs(vec[r.index])
+              for r in results
+              if not r.failed and vec[r.index] != 0]
+    if not errors:
+        return None
+    errors = np.array(errors)
+    return (float(np.median(errors)),
+            float((errors > eps).mean()),
+            errors.size)
+
+
+@pytest.mark.parametrize("p,eps", [(0.5, 0.25), (1.0, 0.25), (1.5, 0.25),
+                                   (1.0, 0.5)])
+def test_e2_estimate_error(benchmark, p, eps):
+    out = benchmark.pedantic(lambda: experiment(p, eps),
+                             rounds=1, iterations=1)
+    assert out is not None, "no successful samples"
+    median, exceed_rate, count = out
+    print_table(
+        f"E2: estimate accuracy, p={p}, eps={eps}",
+        ["p", "eps", "samples", "median rel.err", "P[err > eps]"],
+        [[p, eps, count, f"{median:.4f}", f"{exceed_rate:.3f}"]])
+    assert median <= eps            # typical error well inside budget
+    assert exceed_rate <= 0.15      # ">eps" is the low-probability event

@@ -1,0 +1,66 @@
+"""E8 (Section 4.4): count-sketch heavy hitters with m = O(1/phi^p).
+
+Paper claims: setting m = O(phi^-p) in the count-sketch yields a valid
+Lp heavy hitter set for every p in (0, 2], in the general update model,
+using O(phi^-p log^2 n) bits — tight by Theorem 9.
+
+Measured: validity rate across (p, phi) on planted instances, plus the
+phi^-p space power law.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.heavy_hitters import (CountSketchHeavyHitters,
+                                      is_valid_heavy_hitter_set)
+from repro.streams import heavy_hitter_instance, vector_to_stream
+
+from _common import print_table
+
+N = 400
+TRIALS = 6
+
+
+def experiment_validity():
+    rows = []
+    for p, phi in ((0.5, 0.3), (1.0, 0.125), (1.5, 0.2), (2.0, 0.25)):
+        valid = 0
+        for seed in range(TRIALS):
+            inst = heavy_hitter_instance(N, p=p, phi=phi, seed=seed)
+            algo = CountSketchHeavyHitters(N, p, phi, seed=seed)
+            vector_to_stream(inst.vector, seed=seed).apply_to(algo)
+            valid += is_valid_heavy_hitter_set(algo.heavy_hitters(),
+                                               inst.vector, p, phi)
+        rows.append([p, phi, f"{valid}/{TRIALS}"])
+    return rows
+
+
+def test_e8_validity(benchmark):
+    rows = benchmark.pedantic(experiment_validity, rounds=1, iterations=1)
+    print_table(f"E8: heavy hitter validity, n={N} (general update model)",
+                ["p", "phi", "valid sets"], rows)
+    for row in rows:
+        assert int(row[2].split("/")[0]) >= TRIALS - 1
+
+
+def test_e8_space_power_law(benchmark):
+    def measure():
+        rows = []
+        laws = {}
+        for p in (0.5, 1.0, 2.0):
+            bits = []
+            phis = [0.4, 0.2, 0.1]
+            for phi in phis:
+                algo = CountSketchHeavyHitters(1 << 12, p, phi, seed=1)
+                bits.append(algo.space_bits())
+            slope = np.polyfit(np.log(phis), np.log(bits), 1)[0]
+            laws[p] = -slope
+            rows.append([p] + bits + [f"{-slope:.2f}"])
+        return rows, laws
+
+    rows, laws = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("E8b: space vs phi at n=2^12 "
+                "(fitted exponent should be ~p)",
+                ["p", "phi=0.4", "phi=0.2", "phi=0.1", "exponent"], rows)
+    for p, exponent in laws.items():
+        assert exponent == pytest.approx(p, abs=0.5)

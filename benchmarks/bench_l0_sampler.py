@@ -1,0 +1,67 @@
+"""E4 (Theorem 2 vs FIS [12]): zero-error L0 sampling in log^2 n bits.
+
+Paper claims: (a) the sampler outputs a uniformly random support
+coordinate with its exact value (zero relative error), failing with
+probability <= delta; (b) it needs O(log^2 n log 1/delta) bits versus
+the O(log^3 n) of Frahling–Indyk–Sohler.
+
+Measured: support-uniformity (TV), failure rate, value exactness over
+many independent samplers; space of ours vs the FIS-style baseline
+across n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fis import FISL0Sampler
+from repro.core import L0Sampler
+from repro.streams import sparse_vector
+
+from _common import conditional_tv, print_table, run_sampler_trials
+
+N = 512
+SUPPORT = 60
+DELTA = 0.2
+TRIALS = 150
+
+
+def experiment_quality():
+    vec = sparse_vector(N, SUPPORT, seed=21)
+    results = run_sampler_trials(
+        vec, lambda t: L0Sampler(N, delta=DELTA, seed=9000 + t), TRIALS)
+    failures = sum(r.failed for r in results)
+    exact = all(r.estimate == vec[r.index]
+                for r in results if not r.failed)
+    tv, successes = conditional_tv(results, vec, 0.0, head=20)
+    return failures / TRIALS, exact, tv, successes
+
+
+def test_e4_quality(benchmark):
+    failure_rate, exact, tv, successes = benchmark.pedantic(
+        experiment_quality, rounds=1, iterations=1)
+    print_table(
+        f"E4: L0 sampler quality, n={N}, |support|={SUPPORT}, delta={DELTA}",
+        ["failure rate", "values exact", "samples",
+         "TV vs uniform (head-20)"],
+        [[f"{failure_rate:.3f}", exact, successes, f"{tv:.3f}"]])
+    assert failure_rate <= DELTA + 0.1
+    assert exact                      # ZERO relative error
+    assert tv <= 0.25                 # uniform up to sampling noise
+
+
+def test_e4_space_vs_fis(benchmark):
+    def measure():
+        rows, ratios = [], []
+        for log_n in (8, 10, 12, 14, 16):
+            ours = L0Sampler(1 << log_n, delta=DELTA, seed=1) \
+                .space_report().total
+            fis = FISL0Sampler(1 << log_n, seed=1).space_report().total
+            ratios.append(fis / ours)
+            rows.append([log_n, ours, fis, f"{fis / ours:.2f}"])
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("E4b: L0 sampler space (ours log^2 n vs FIS log^3 n)",
+                ["log2 n", "ours (bits)", "FIS (bits)", "FIS/ours"],
+                rows)
+    assert ratios[-1] > 1.5 * ratios[0]

@@ -1,0 +1,48 @@
+"""E1 (Theorem 1, Lemma 4): the Lp-sampler's output distribution.
+
+Paper claim: conditioned on not failing, the Figure 1 sampler outputs
+index i with probability (1 +- O(eps)) |x_i|^p / ||x||_p^p, and one
+round succeeds with probability Theta(eps).
+
+Measured here: total-variation distance between the empirical
+conditional output distribution and the exact Lp distribution, plus the
+per-round success rate, for p in {0.5, 1, 1.5} on a Zipf vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LpSamplerRound
+from repro.streams import zipf_vector
+
+from _common import conditional_tv, print_table, run_sampler_trials
+
+N = 400
+EPS = 0.25
+TRIALS = 400
+
+
+def one_round(p, seed):
+    return LpSamplerRound(N, p, EPS, seed=seed)
+
+
+def experiment(p, trials=TRIALS):
+    vec = zipf_vector(N, scale=600, seed=11)
+    results = run_sampler_trials(vec, lambda t: one_round(p, 5000 + t),
+                                 trials)
+    tv, successes = conditional_tv(results, vec, p, head=15)
+    return tv, successes / trials, successes
+
+
+@pytest.mark.parametrize("p", [0.5, 1.0, 1.5])
+def test_e1_distribution(benchmark, p):
+    tv, rate, successes = benchmark.pedantic(
+        lambda: experiment(p), rounds=1, iterations=1)
+    print_table(
+        f"E1: Lp distribution accuracy, p={p}, eps={EPS}, n={N}",
+        ["p", "round success rate", "samples", "TV vs exact (head-15)"],
+        [[p, f"{rate:.3f}", successes, f"{tv:.3f}"]])
+    # Theta(eps) success per round:
+    assert EPS / 8 <= rate <= 3 * EPS
+    # conditional head distribution close to the Lp law:
+    assert tv <= 0.2

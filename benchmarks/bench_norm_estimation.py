@@ -1,0 +1,59 @@
+"""E17 (Lemma 2): the p-stable norm estimator's bracketing guarantee.
+
+Paper statement (Lemma 2, citing [17]): an O(log n)-row linear sketch
+yields r with ||x||_p <= r <= 2 ||x||_p with high probability.
+
+Measured: the bracket hit rate of `norm_upper` as rows grow, per p —
+the rate must climb toward 1 with more rows, and already be high at the
+l = O(log n) setting the sampler uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketch.stable import StableSketch
+from repro.streams import vector_to_stream, zipf_vector
+
+from _common import print_table
+
+N = 500
+TRIALS = 40
+
+
+def bracket_rate(p, rows):
+    hits = 0
+    for seed in range(TRIALS):
+        vec = zipf_vector(N, scale=700, seed=seed)
+        sk = StableSketch(N, p, rows=rows, seed=seed)
+        vector_to_stream(vec, seed=seed).apply_to(sk)
+        truth = float((np.abs(vec).astype(float) ** p).sum() ** (1.0 / p))
+        hits += truth <= sk.norm_upper() <= 2.0 * truth
+    return hits / TRIALS
+
+
+def experiment():
+    from repro.sketch.stable import rows_for_stable
+
+    table = []
+    rates = {}
+    for p in (0.5, 1.0, 1.5, 2.0):
+        lemma_rows = rows_for_stable(N, p)
+        row = [p, lemma_rows]
+        for rows in (9, 19, lemma_rows):
+            rate = bracket_rate(p, rows)
+            rates[(p, rows)] = rate
+            row.append(f"{rate:.3f}")
+        rates[(p, "lemma")] = rates[(p, lemma_rows)]
+        table.append(row)
+    return table, rates
+
+
+def test_e17_bracketing(benchmark):
+    table, rates = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(f"E17: P[ ||x||_p <= r <= 2||x||_p ], n={N} "
+                "(rows = O_p(log n) suffices; the constant grows as p->0)",
+                ["p", "lemma rows", "rows=9", "rows=19", "rows=lemma"],
+                table)
+    for p in (0.5, 1.0, 1.5, 2.0):
+        assert rates[(p, "lemma")] >= 0.85
+        assert rates[(p, "lemma")] >= rates[(p, 9)] - 0.1

@@ -1,0 +1,75 @@
+"""E12 (Theorem 9): the augmented indexing -> heavy hitters reduction.
+
+Paper claim: a one-pass heavy hitters algorithm (parameters p, phi)
+decodes augmented indexing on strings of length s = Theta(phi^-p log n)
+over alphabet 2^t, forcing message (= memory) Omega(phi^-p log^2 n) —
+even in the strict turnstile model.
+
+Measured: end-to-end decoding success with the real count-sketch HH
+structure inside; message bits as phi shrinks (the phi^-p law); and the
+strict-turnstile property of the constructed instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (augmented_indexing_via_heavy_hitters,
+                        hh_vectors_from_ai, random_ai_instance, referee)
+from repro.comm.augmented_indexing import AugmentedIndexingInstance
+
+from _common import print_table
+
+TRIALS = 8
+
+
+def experiment_success():
+    rows = []
+    for p, phi in ((1.0, 0.25), (1.5, 0.3), (0.5, 0.2)):
+        ok = 0
+        bits = 0
+        for seed in range(TRIALS):
+            inst = random_ai_instance(4, 8, seed=seed)
+            result = augmented_indexing_via_heavy_hitters(
+                inst, p=p, phi=phi, seed=seed)
+            ok += referee(inst, result.output)
+            bits = result.total_bits
+        rows.append([p, phi, f"{ok}/{TRIALS}", bits])
+    return rows
+
+
+def test_e12_reduction_success(benchmark):
+    rows = benchmark.pedantic(experiment_success, rounds=1, iterations=1)
+    print_table("E12: augmented indexing via heavy hitters (Theorem 9)",
+                ["p", "phi", "decoded", "message bits"], rows)
+    for row in rows:
+        assert int(row[2].split("/")[0]) >= TRIALS - 2
+
+
+def test_e12_message_grows_as_phi_power(benchmark):
+    def measure():
+        bits = []
+        phis = [0.3, 0.15, 0.075]
+        inst = random_ai_instance(4, 8, seed=3)
+        for phi in phis:
+            result = augmented_indexing_via_heavy_hitters(
+                inst, p=1.0, phi=phi, seed=3)
+            bits.append(result.total_bits)
+        slope = np.polyfit(np.log(phis), np.log(bits), 1)[0]
+        return phis, bits, -slope
+
+    phis, bits, exponent = benchmark.pedantic(measure, rounds=1,
+                                              iterations=1)
+    print_table("E12b: message bits vs phi at p=1 (law ~ phi^-1)",
+                ["phi"] + [str(p) for p in phis],
+                [["bits"] + bits])
+    print(f"fitted exponent: {exponent:.2f} (paper: p = 1)")
+    assert exponent == pytest.approx(1.0, abs=0.4)
+
+
+def test_e12_strict_turnstile():
+    """The constructed stream never leaves the strict turnstile model:
+    Bob only deletes mass Alice inserted."""
+    inst = AugmentedIndexingInstance(8, (1, 5, 2, 7), 2)
+    u, v = hh_vectors_from_ai(inst, p=1.0, phi=0.25)
+    assert np.all(u >= 0)
+    assert np.all(u - v >= 0)  # the final vector is non-negative

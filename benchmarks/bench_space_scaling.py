@@ -1,0 +1,61 @@
+"""E3 (Theorem 1 vs AKO [1]): the headline log-factor saving.
+
+Paper claim: this paper's sampler uses O(eps^-p log^2 n) bits where
+Andoni–Krauthgamer–Onak use O(eps^-p log^3 n) — one log n factor less.
+
+Measured: per-round space (paper accounting: counters x O(log n) bits +
+seeds) of both samplers across n = 2^8 .. 2^18, and the AKO/ours ratio,
+which must grow ~linearly in log n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ako import AKOSamplerRound
+from repro.core import LpSamplerRound
+
+from _common import print_table
+
+P, EPS = 1.5, 0.25
+LOG_NS = [8, 10, 12, 14, 16, 18]
+
+
+def experiment():
+    rows = []
+    ratios = []
+    for log_n in LOG_NS:
+        n = 1 << log_n
+        ours = LpSamplerRound(n, P, EPS, seed=1).space_report().total
+        ako = AKOSamplerRound(n, P, EPS, seed=1).space_report().total
+        ratios.append(ako / ours)
+        rows.append([log_n, ours, ako, f"{ako / ours:.2f}"])
+    return rows, ratios
+
+
+def test_e3_space_scaling(benchmark):
+    rows, ratios = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        f"E3: per-round space, p={P}, eps={EPS} "
+        "(ours log^2 n vs AKO log^3 n)",
+        ["log2 n", "ours (bits)", "AKO (bits)", "AKO/ours"],
+        rows)
+    # the ratio is the extra log factor: it must grow with log n,
+    # roughly doubling from log n = 8 to log n = 18
+    assert ratios[-1] > 1.6 * ratios[0]
+    # and ours must win at every size
+    assert all(r > 1.0 for r in ratios)
+
+
+def test_e3_ours_is_log_squared(benchmark):
+    def fit():
+        bits = [LpSamplerRound(1 << ln, P, EPS, seed=1)
+                .space_report().counter_total for ln in LOG_NS]
+        # fit bits ~ c * (log n)^alpha; alpha should be ~2
+        alpha = np.polyfit(np.log([float(l) for l in LOG_NS]),
+                           np.log(bits), 1)[0]
+        return alpha
+
+    alpha = benchmark.pedantic(fit, rounds=1, iterations=1)
+    print(f"\nE3b: fitted space exponent in log n: alpha = {alpha:.2f} "
+          "(paper: 2)")
+    assert 1.5 < alpha < 2.6

@@ -1,0 +1,95 @@
+"""E16 (ablation): syndrome decoder vs IBLT for the Lemma 5 interface.
+
+Both structures implement exact s-sparse recovery; the syndrome decoder
+(the one the theorems charge) recovers s-sparse inputs with probability
+1 using 2s+O(1) counters, the IBLT needs ~2.2s counters x 3 fields and
+fails (detected) a few percent of the time, but decodes in O(s) rather
+than O(n s).
+
+Measured: success rates on exactly-s-sparse inputs, DENSE detection on
+dense inputs, and decode wall-time (the pytest-benchmark timings).
+"""
+
+import numpy as np
+import pytest
+
+from repro.recovery.iblt import IBLTSparseRecovery
+from repro.recovery.syndrome import SyndromeSparseRecovery
+from repro.streams import sparse_vector, vector_to_stream
+
+from _common import print_table
+
+N = 2000
+TRIALS = 25
+
+
+def run_structure(factory, support, trials=TRIALS):
+    ok = 0
+    for seed in range(trials):
+        vec = sparse_vector(N, support, seed=seed)
+        rec = factory(seed)
+        vector_to_stream(vec, seed=seed).apply_to(rec)
+        result = rec.recover()
+        if not result.dense and np.array_equal(result.to_dense(N), vec):
+            ok += 1
+    return ok
+
+
+def experiment():
+    rows = []
+    for s in (4, 16, 48):
+        syn = run_structure(
+            lambda seed: SyndromeSparseRecovery(N, sparsity=s,
+                                                seed=seed + 1), s)
+        iblt = run_structure(
+            lambda seed: IBLTSparseRecovery(N, sparsity=s,
+                                            seed=seed + 1), s)
+        rows.append([s, f"{syn}/{TRIALS}", f"{iblt}/{TRIALS}"])
+    return rows
+
+
+def test_e16_success_rates(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(f"E16: exact recovery at full load (support = sparsity), "
+                f"n={N}",
+                ["s", "syndrome", "IBLT"], rows)
+    for row in rows:
+        assert int(row[1].split("/")[0]) == TRIALS     # probability 1
+        assert int(row[2].split("/")[0]) >= TRIALS - 6  # whp, detected fails
+
+
+def test_e16_dense_detection(benchmark):
+    def measure():
+        flags = {"syndrome": 0, "iblt": 0}
+        for seed in range(10):
+            vec = sparse_vector(N, 300, seed=seed)
+            syn = SyndromeSparseRecovery(N, sparsity=8, seed=seed)
+            ib = IBLTSparseRecovery(N, sparsity=8, seed=seed)
+            stream = vector_to_stream(vec, seed=seed)
+            stream.apply_to(syn)
+            stream.apply_to(ib)
+            flags["syndrome"] += syn.recover().dense
+            flags["iblt"] += ib.recover().dense
+        return flags
+
+    flags = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("E16b: DENSE detection on 300-sparse input, bound s=8",
+                ["structure", "flagged DENSE (of 10)"],
+                [[k, v] for k, v in flags.items()])
+    assert flags["syndrome"] == 10
+    assert flags["iblt"] == 10
+
+
+def test_e16_syndrome_decode_time(benchmark):
+    vec = sparse_vector(N, 16, seed=3)
+    rec = SyndromeSparseRecovery(N, sparsity=16, seed=3)
+    vector_to_stream(vec, seed=3).apply_to(rec)
+    result = benchmark(rec.recover)
+    assert not result.dense
+
+
+def test_e16_iblt_decode_time(benchmark):
+    vec = sparse_vector(N, 16, seed=3)
+    rec = IBLTSparseRecovery(N, sparsity=16, seed=3)
+    vector_to_stream(vec, seed=3).apply_to(rec)
+    benchmark(rec.recover)

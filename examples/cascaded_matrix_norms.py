@@ -1,0 +1,71 @@
+"""Cascaded matrix norms by sampling (the [15]/[23] application).
+
+A service mesh logs a traffic matrix A[i, j] — bytes from tenant i to
+endpoint j — as a turnstile stream (retries and compensations subtract).
+Operations wants the *skew* of per-tenant load, i.e. the cascaded norm
+F_2(F_1): the second moment of row masses.  Storing per-tenant counters
+costs Theta(#tenants); the Lp-sampling route of Monemizadeh–Woodruff
+costs polylog space and two passes.
+
+This example plants two elephant tenants, runs the two-pass
+CascadedNormEstimator, and compares against the exact value and the
+naive per-row-counter cost.
+
+Run:  python examples/cascaded_matrix_norms.py
+"""
+
+import numpy as np
+
+from repro import CascadedNormEstimator
+from repro.apps.cascaded import exact_cascaded_norm
+from repro.space.accounting import bits_of
+
+TENANTS = 64
+ENDPOINTS = 64
+SEED = 1234
+
+
+def build_matrix():
+    rng = np.random.default_rng(SEED)
+    matrix = rng.integers(0, 4, size=(TENANTS, ENDPOINTS)).astype(np.int64)
+    matrix[7] = rng.integers(40, 80, size=ENDPOINTS)    # elephant tenant
+    matrix[23] = rng.integers(30, 60, size=ENDPOINTS)   # second elephant
+    return matrix
+
+
+def replay(estimator, matrix, seed):
+    rng = np.random.default_rng(seed)
+    i_idx, j_idx = np.nonzero(matrix)
+    order = rng.permutation(i_idx.size)
+    estimator.update_many(i_idx[order], j_idx[order],
+                          matrix[i_idx, j_idx][order])
+
+
+def main():
+    matrix = build_matrix()
+    truth = exact_cascaded_norm(matrix, p=1.0, k=2.0)
+    print(f"traffic matrix: {TENANTS} tenants x {ENDPOINTS} endpoints, "
+          f"2 planted elephants")
+    print(f"exact F_2(F_1) = {truth:.3e}")
+
+    estimator = CascadedNormEstimator(TENANTS, ENDPOINTS, p=1.0, k=2.0,
+                                      samples=20, seed=SEED)
+    replay(estimator, matrix, seed=1)            # pass 1
+    sampled_rows = estimator.finish_first_pass()
+    print(f"\npass 1 sampled tenants: {sampled_rows} "
+          f"(elephants are 7 and 23 — L1 sampling finds them)")
+    replay(estimator, matrix, seed=2)            # pass 2
+    value = estimator.estimate()
+    print(f"pass 2 estimate        = {value:.3e} "
+          f"({value / truth:.2f}x of exact)")
+
+    naive_bits = TENANTS * 48
+    print(f"\nspace: estimator {bits_of(estimator)} bits; "
+          f"naive per-tenant counters {naive_bits} bits")
+    print("(the estimator's cost is polylog in the matrix size — it wins "
+          "once tenants number in the millions; see "
+          "tests/test_cascaded.py::test_space_grows_polylogarithmically)")
+
+
+if __name__ == "__main__":
+    main()

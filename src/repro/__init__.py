@@ -1,0 +1,66 @@
+"""repro — a reproduction of Jowhari, Sağlam & Tardos (PODS 2011):
+"Tight Bounds for Lp Samplers, Finding Duplicates in Streams, and
+Related Problems".
+
+Public API highlights
+---------------------
+Samplers (the paper's contribution):
+
+* :class:`LpSampler` — the Figure 1 precision sampler, p in (0, 2),
+  eps relative error, delta failure, O(eps^-max(1,p) log^2 n) bits.
+* :class:`L0Sampler` — the Theorem 2 zero-relative-error support
+  sampler, O(log^2 n log 1/delta) bits.
+* :class:`ReservoirSampler` — the classical insertion-only baseline.
+
+Applications (Section 3 / 4.4):
+
+* :class:`DuplicateFinder`, :class:`ShortStreamDuplicateFinder`,
+  :class:`LongStreamDuplicateFinder` — Theorems 3, 4 and the n+s regime.
+* :class:`CountSketchHeavyHitters` — the O(phi^-p log^2 n) upper bound.
+
+Substrates are importable from :mod:`repro.sketch`,
+:mod:`repro.recovery`, :mod:`repro.hashing`, :mod:`repro.streams`;
+the Section 4 lower-bound reductions from :mod:`repro.comm`.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LpSampler
+>>> sampler = LpSampler(universe=1000, p=1.0, eps=0.25, delta=0.1, seed=7)
+>>> sampler.update(3, +5)       # turnstile updates, deletions welcome
+>>> sampler.update(3, -2)
+>>> sampler.update(999, 1)
+>>> result = sampler.sample()
+>>> result.failed or 0 <= result.index < 1000
+True
+"""
+
+from .apps import (NO_DUPLICATE, NO_POSITIVE, CascadedNormEstimator,
+                   CountMedianHeavyHitters,
+                   CountSketchHeavyHitters, DuplicateFinder,
+                   FrequencyMomentEstimator, LongStreamDuplicateFinder,
+                   PositiveCoordinateFinder, ShortStreamDuplicateFinder,
+                   is_valid_heavy_hitter_set)
+from .baselines import AKOSampler, FISL0Sampler, GRDuplicatesBaseline
+from .core import (L0Sampler, L1Sampler, LpSampler, LpSamplerConfig,
+                   LpSamplerRound, PerfectLpSampler, RepeatedSampler,
+                   ReservoirSampler, SampleResult, TwoPassL0Sampler,
+                   lp_distribution, total_variation)
+from .streams import UpdateStream, items_to_updates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NO_DUPLICATE", "NO_POSITIVE", "CascadedNormEstimator",
+    "CountMedianHeavyHitters",
+    "CountSketchHeavyHitters", "DuplicateFinder", "FrequencyMomentEstimator",
+    "LongStreamDuplicateFinder", "PositiveCoordinateFinder",
+    "ShortStreamDuplicateFinder", "is_valid_heavy_hitter_set",
+    "AKOSampler", "FISL0Sampler", "GRDuplicatesBaseline",
+    "L0Sampler", "L1Sampler", "LpSampler", "LpSamplerConfig",
+    "LpSamplerRound", "PerfectLpSampler", "RepeatedSampler",
+    "ReservoirSampler", "SampleResult", "TwoPassL0Sampler",
+    "lp_distribution", "total_variation",
+    "UpdateStream", "items_to_updates",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Applications: duplicates, positive coordinates, heavy hitters,
+moments, cascaded norms."""
+
+from .cascaded import (CascadedNormEstimator, MatrixStream,
+                       exact_cascaded_norm)
+from .duplicates import (NO_DUPLICATE, DuplicateFinder,
+                         LongStreamDuplicateFinder,
+                         ShortStreamDuplicateFinder)
+from .heavy_hitters import (CountMedianHeavyHitters, CountSketchHeavyHitters,
+                            is_valid_heavy_hitter_set)
+from .moments import FrequencyMomentEstimator
+from .positive import NO_POSITIVE, PositiveCoordinateFinder
+
+__all__ = [
+    "CascadedNormEstimator", "MatrixStream", "exact_cascaded_norm",
+    "NO_DUPLICATE", "DuplicateFinder", "LongStreamDuplicateFinder",
+    "ShortStreamDuplicateFinder",
+    "CountMedianHeavyHitters", "CountSketchHeavyHitters",
+    "is_valid_heavy_hitter_set",
+    "FrequencyMomentEstimator",
+    "NO_POSITIVE", "PositiveCoordinateFinder",
+]

@@ -1,0 +1,161 @@
+"""Cascaded norms via Lp sampling (the [15]/[23] application).
+
+The paper's introduction lists *cascaded norms* among the applications
+Monemizadeh–Woodruff drive with Lp samplers: for a matrix ``A`` given
+by turnstile updates to entries, estimate
+
+    F_k(F_p^p)(A)  =  sum_i w_i^k,      w_i = sum_j |a_ij|^p,
+
+the k-th moment of the row mass vector.  The sampler supplies the key
+identity: if ``(i, j)`` is an Lp sample of the *flattened* matrix, the
+row ``i`` arrives with probability ``w_i / W`` (``W = sum w_i``), so
+
+    E[ W * w_i^(k-1) ]  =  sum_i w_i^k.
+
+Like the Monemizadeh–Woodruff framework, we use two passes: pass 1
+draws the row samples (and sketches W); pass 2 measures ``w_i`` for the
+few sampled rows with per-row norm sketches.  Space:
+O(samples * (log^2(rc) + rows_for_stable * log(rc))) bits — polylog in
+the matrix size, versus Theta(r) to store the row masses exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.lp_sampler import LpSampler
+from ..sketch.stable import StableSketch, rows_for_stable
+from ..space.accounting import SpaceReport
+
+
+class MatrixStream:
+    """Turnstile updates to a rows x cols matrix, flattened row-major."""
+
+    def __init__(self, rows: int, cols: int):
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.size = self.rows * self.cols
+
+    def flatten(self, i, j) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if np.any(i < 0) or np.any(i >= self.rows) \
+                or np.any(j < 0) or np.any(j >= self.cols):
+            raise ValueError("matrix index out of range")
+        return i * self.cols + j
+
+    def row_of(self, flat_index: int) -> int:
+        return int(flat_index) // self.cols
+
+
+class CascadedNormEstimator:
+    """Two-pass estimator of ``sum_i (sum_j |a_ij|^p)^k``.
+
+    Pass 1: ``samples`` independent Lp samplers over the flattened
+    matrix plus a norm sketch for ``W = ||A||_pp^p``.  Call
+    :meth:`finish_first_pass`, replay the stream, then :meth:`estimate`.
+    """
+
+    def __init__(self, rows: int, cols: int, p: float, k: float,
+                 samples: int = 16, eps: float = 0.25, seed: int = 0):
+        if k < 1:
+            raise ValueError("this estimator targets k >= 1")
+        self.matrix = MatrixStream(rows, cols)
+        self.p = float(p)
+        self.k = float(k)
+        self.samples = int(samples)
+        self._pass = 1
+        n = self.matrix.size
+        seeds = np.random.SeedSequence((seed, 0xCA5)).generate_state(samples)
+        self._samplers = [
+            LpSampler(n, p=p, eps=eps, delta=0.2, seed=int(s))
+            for s in seeds
+        ]
+        self._norm = StableSketch(n, p, rows=rows_for_stable(n, p),
+                                  seed=seed * 23 + 5)
+        self._sampled_rows: list[int] = []
+        self._row_sketches: dict[int, StableSketch] = {}
+        self._seed = int(seed)
+
+    @property
+    def current_pass(self) -> int:
+        return self._pass
+
+    # -- updates --------------------------------------------------------------
+
+    def update(self, i: int, j: int, delta) -> None:
+        """Apply the turnstile update ``A[i, j] += delta``."""
+        self.update_many(np.array([i]), np.array([j]), np.array([delta]))
+
+    def update_many(self, i, j, deltas) -> None:
+        """Vectorised matrix updates; routing depends on the pass."""
+        flat = self.matrix.flatten(i, j)
+        dlt = np.asarray(deltas)
+        if self._pass == 1:
+            self._norm.update_many(flat, dlt)
+            for sampler in self._samplers:
+                sampler.update_many(flat, dlt)
+            return
+        rows = np.asarray(i, dtype=np.int64)
+        for row, sketch in self._row_sketches.items():
+            mask = rows == row
+            if mask.any():
+                sketch.update_many(np.asarray(j, dtype=np.int64)[mask],
+                                   dlt[mask])
+
+    # -- pass control -------------------------------------------------------------
+
+    def finish_first_pass(self) -> list[int]:
+        """Freeze the row samples; returns the sampled row indices."""
+        if self._pass != 1:
+            raise RuntimeError("first pass already finished")
+        for sampler in self._samplers:
+            result = sampler.sample()
+            if not result.failed:
+                self._sampled_rows.append(
+                    self.matrix.row_of(result.index))
+        cols = self.matrix.cols
+        for row in set(self._sampled_rows):
+            self._row_sketches[row] = StableSketch(
+                cols, self.p, rows=rows_for_stable(cols, self.p),
+                seed=self._seed * 29 + 7 + row)
+        self._pass = 2
+        return sorted(set(self._sampled_rows))
+
+    # -- estimation ------------------------------------------------------------------
+
+    def estimate(self) -> float | None:
+        """The cascaded norm estimate, or None if no row was sampled."""
+        if self._pass != 2:
+            raise RuntimeError("run both passes before estimating")
+        if not self._sampled_rows:
+            return None
+        total_mass = self._norm.norm_estimate() ** self.p  # W = ||A||_pp^p
+        if total_mass <= 0:
+            return 0.0
+        terms = []
+        for row in self._sampled_rows:
+            w_row = self._row_sketches[row].norm_estimate() ** self.p
+            terms.append(total_mass * w_row ** (self.k - 1.0))
+        return float(np.mean(terms))
+
+    # -- space -----------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(label=f"cascaded(p={self.p}, k={self.k})")
+        report.add(self._norm.space_report())
+        for sampler in self._samplers:
+            report.add(sampler.space_report())
+        for sketch in self._row_sketches.values():
+            report.add(sketch.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        return self.space_report().total
+
+
+def exact_cascaded_norm(matrix, p: float, k: float) -> float:
+    """Ground truth ``sum_i (sum_j |a_ij|^p)^k`` for tests."""
+    mat = np.abs(np.asarray(matrix, dtype=np.float64))
+    row_mass = (mat**p).sum(axis=1)
+    return float((row_mass**k).sum())

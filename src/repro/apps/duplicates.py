@@ -1,0 +1,246 @@
+"""Finding duplicates in streams (Section 3 of the paper).
+
+Given a stream of items over the alphabet ``[n]``, three regimes:
+
+* **Length n+1 (Theorem 3).**  A duplicate always exists (pigeonhole).
+  Encode the stream as the turnstile vector ``x_i = occurrences(i) - 1``
+  (baseline -1 everywhere, +1 per item) and L1-sample: since
+  ``sum x_i = 1``, a perfect L1 sample is positive with probability
+  > 1/2, and positive coordinates are exactly the duplicates.  With a
+  1/2-relative-error, 1/2-failure sampler a duplicate pops out with
+  probability >= 1/4 per repetition; O(log 1/delta) parallel
+  repetitions drive failure below delta.  O(log^2 n log(1/delta)) bits.
+
+* **Length n-s (Theorem 4).**  A duplicate need not exist.  Run, in
+  parallel, the exact 5s-sparse recovery of Lemma 5 and the Theorem 3
+  sampler.  If recovery returns a vector we answer exactly (including
+  the certain NO-DUPLICATE answer); otherwise ``|x|_+ + |x|_- > 5s``
+  forces ``||x||_+ / ||x||_1 > 2/5`` (as ``||x||_+ - ||x||_- = -s``),
+  so a positive L1 sample arrives with constant probability.
+  O(s log n + log^2 n log(1/delta)) bits.
+
+* **Length n+s (Section 3 closing).**  When ``n/s < log n`` it is
+  cheaper to sample ``4 ceil(n/s)`` random stream *positions* and watch
+  for a repeat (a uniformly random item repeats later with probability
+  >= s/(n+s)); otherwise fall back to Theorem 3.
+  O(min{log^2 n, (n/s) log n}) bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import SampleResult
+from ..core.lp_sampler import L1Sampler
+from ..recovery.syndrome import SyndromeSparseRecovery
+from ..space.accounting import SpaceReport, counter_bits
+from ..streams.model import items_to_updates
+
+#: Verdict for duplicate-free short streams (Theorem 4 exact answer).
+NO_DUPLICATE = "NO-DUPLICATE"
+
+
+def _repetitions_for(delta: float) -> int:
+    """Per-repetition success >= 1/4 (see module docstring), so
+    ``(3/4)^v <= delta`` needs ``v = ceil(log(1/delta)/log(4/3))``."""
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return max(1, int(np.ceil(np.log(1.0 / delta) / np.log(4.0 / 3.0))))
+
+
+class DuplicateFinder:
+    """Theorem 3: duplicates in item streams of length n+1.
+
+    Feed items with :meth:`process_item`/`process_items`; the -1
+    baseline is applied at construction, so the finder is single-pass.
+    """
+
+    def __init__(self, universe: int, delta: float = 0.25, seed: int = 0,
+                 sampler_rounds: int = 8):
+        self.universe = int(universe)
+        self.delta = float(delta)
+        reps = _repetitions_for(delta)
+        seeds = np.random.SeedSequence((seed, 0xD0B)).generate_state(reps)
+        # Each repetition: an eps=1/2 sampler whose own round count makes
+        # its failure rate about 1/2 (Theorem 3 sets both to 1/2).
+        self._samplers = [
+            L1Sampler(self.universe, eps=0.5, seed=int(s),
+                      rounds=sampler_rounds)
+            for s in seeds
+        ]
+        baseline_idx = np.arange(self.universe, dtype=np.int64)
+        baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
+        for sampler in self._samplers:
+            sampler.update_many(baseline_idx, baseline_dlt)
+
+    def process_item(self, item: int) -> None:
+        """Observe one stream item (a letter of [0, universe))."""
+        for sampler in self._samplers:
+            sampler.update(int(item), 1)
+
+    def process_items(self, items) -> None:
+        """Observe a batch of stream items in order."""
+        arr = np.asarray(items, dtype=np.int64)
+        ones = np.ones(arr.size, dtype=np.int64)
+        for sampler in self._samplers:
+            sampler.update_many(arr, ones)
+
+    def result(self) -> SampleResult:
+        """The first repetition that produced a positive sample wins."""
+        for rep, sampler in enumerate(self._samplers):
+            res = sampler.sample()
+            if res.failed or res.estimate is None:
+                continue
+            if res.estimate > 0:
+                return SampleResult.ok(res.index, res.estimate,
+                                       repetition=rep)
+        return SampleResult.fail("no-positive-sample")
+
+    def space_report(self) -> SpaceReport:
+        """Itemised space of all repetitions (paper accounting)."""
+        report = SpaceReport(label=f"duplicate-finder(delta={self.delta})")
+        for sampler in self._samplers:
+            report.add(sampler.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        """Total space in bits."""
+        return self.space_report().total
+
+
+class ShortStreamDuplicateFinder:
+    """Theorem 4: duplicates in streams of length n-s, exact when sparse.
+
+    ``result()`` returns NO_DUPLICATE (probability 1 when the stream is
+    duplicate-free), a duplicate index, or FAIL.
+    """
+
+    def __init__(self, universe: int, s: int, delta: float = 0.25,
+                 seed: int = 0, sampler_rounds: int = 8):
+        if s < 0:
+            raise ValueError("s must be non-negative")
+        self.universe = int(universe)
+        self.s = int(s)
+        self.delta = float(delta)
+        self._recovery = SyndromeSparseRecovery(
+            universe, sparsity=max(1, 5 * self.s), seed=seed * 3 + 1)
+        reps = _repetitions_for(delta)
+        seeds = np.random.SeedSequence((seed, 0xD0C)).generate_state(reps)
+        self._samplers = [
+            L1Sampler(self.universe, eps=0.5, seed=int(sd),
+                      rounds=sampler_rounds)
+            for sd in seeds
+        ]
+        baseline_idx = np.arange(self.universe, dtype=np.int64)
+        baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
+        self._recovery.update_many(baseline_idx, baseline_dlt)
+        for sampler in self._samplers:
+            sampler.update_many(baseline_idx, baseline_dlt)
+
+    def process_items(self, items) -> None:
+        arr = np.asarray(items, dtype=np.int64)
+        ones = np.ones(arr.size, dtype=np.int64)
+        self._recovery.update_many(arr, ones)
+        for sampler in self._samplers:
+            sampler.update_many(arr, ones)
+
+    def process_item(self, item: int) -> None:
+        self.process_items(np.array([item], dtype=np.int64))
+
+    def result(self):
+        """NO_DUPLICATE | SampleResult(index) | SampleResult.fail."""
+        recovered = self._recovery.recover()
+        if not recovered.dense:
+            positive = recovered.indices[recovered.values > 0]
+            if positive.size == 0:
+                return NO_DUPLICATE
+            # Knowing x exactly, return the most-duplicated letter.
+            best = int(positive[np.argmax(
+                recovered.values[recovered.values > 0])])
+            return SampleResult.ok(best, exact=True)
+        for rep, sampler in enumerate(self._samplers):
+            res = sampler.sample()
+            if res.failed or res.estimate is None:
+                continue
+            if res.estimate > 0:
+                return SampleResult.ok(res.index, res.estimate,
+                                       repetition=rep)
+        return SampleResult.fail("dense-and-no-positive-sample")
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(label=f"short-duplicates(s={self.s})")
+        report.add(self._recovery.space_report())
+        for sampler in self._samplers:
+            report.add(sampler.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        return self.space_report().total
+
+
+class LongStreamDuplicateFinder:
+    """The n+s regime: position sampling vs Theorem 3, crossover n/s ~ log n."""
+
+    def __init__(self, universe: int, extra: int, delta: float = 0.25,
+                 seed: int = 0):
+        if extra < 1:
+            raise ValueError("extra must be >= 1 (stream longer than n)")
+        self.universe = int(universe)
+        self.extra = int(extra)
+        self.length = self.universe + self.extra
+        self.delta = float(delta)
+        ratio = self.universe / self.extra
+        self.strategy = ("positions" if ratio < np.log2(max(2, universe))
+                         else "sampler")
+        self._position = 0
+        self._duplicate: int | None = None
+        if self.strategy == "positions":
+            rng = np.random.default_rng(np.random.SeedSequence((seed, 0xD0D)))
+            # ceil(log(1/delta)) batches of 4*ceil(n/s) positions each.
+            batches = max(1, int(np.ceil(np.log(1.0 / delta))))
+            count = min(self.length, 4 * int(np.ceil(ratio)) * batches)
+            positions = rng.choice(self.length, size=count, replace=False)
+            self._watch_positions = set(int(t) for t in positions)
+            self._watched_items: set[int] = set()
+            self._finder = None
+        else:
+            self._watch_positions = set()
+            self._watched_items = set()
+            self._finder = DuplicateFinder(universe, delta=delta, seed=seed)
+
+    def process_item(self, item: int) -> None:
+        item = int(item)
+        if self._finder is not None:
+            self._finder.process_item(item)
+        else:
+            if self._duplicate is None and item in self._watched_items:
+                self._duplicate = item
+            if self._position in self._watch_positions:
+                self._watched_items.add(item)
+        self._position += 1
+
+    def process_items(self, items) -> None:
+        if self._finder is not None:
+            self._finder.process_items(items)
+            self._position += len(np.asarray(items))
+        else:
+            for item in np.asarray(items, dtype=np.int64).tolist():
+                self.process_item(item)
+
+    def result(self) -> SampleResult:
+        if self._finder is not None:
+            return self._finder.result()
+        if self._duplicate is not None:
+            return SampleResult.ok(self._duplicate, strategy="positions")
+        return SampleResult.fail("no-watched-item-repeated")
+
+    def space_report(self) -> SpaceReport:
+        if self._finder is not None:
+            return self._finder.space_report()
+        return SpaceReport(
+            label=f"long-duplicates(positions x{len(self._watch_positions)})",
+            counter_count=2 * max(1, len(self._watch_positions)),
+            bits_per_counter=counter_bits(self.universe))
+
+    def space_bits(self) -> int:
+        return self.space_report().total

@@ -1,0 +1,80 @@
+"""Finding a positive coordinate in a general update stream.
+
+The remark closing Section 3: Theorems 3 and 4 generalise from item
+streams to arbitrary update streams defining ``x in Z^n``.  With
+``s = -sum_i x_i``:
+
+* if ``s < 0`` a positive coordinate must exist and the Theorem 3
+  machinery finds one in O(log^2 n log(1/delta)) bits;
+* if ``s >= 0`` one need not exist; running the 5s-sparse recovery in
+  parallel gives the exact answer whenever ``x`` is 5s-sparse
+  (including a certain NONE) and otherwise the sampler succeeds with
+  constant probability, as in Theorem 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import SampleResult
+from ..core.lp_sampler import L1Sampler
+from ..recovery.syndrome import SyndromeSparseRecovery
+from ..space.accounting import SpaceReport
+
+#: Verdict when the structure can certify no positive coordinate exists.
+NO_POSITIVE = "NO-POSITIVE"
+
+
+class PositiveCoordinateFinder:
+    """Find some i with x_i > 0 in a turnstile stream."""
+
+    def __init__(self, universe: int, s_bound: int = 0, delta: float = 0.25,
+                 seed: int = 0, sampler_rounds: int = 8):
+        self.universe = int(universe)
+        self.s_bound = int(s_bound)
+        self.delta = float(delta)
+        self._recovery = SyndromeSparseRecovery(
+            universe, sparsity=max(1, 5 * self.s_bound), seed=seed * 5 + 2)
+        reps = max(1, int(np.ceil(np.log(1.0 / delta)
+                                  / np.log(4.0 / 3.0))))
+        seeds = np.random.SeedSequence((seed, 0xA05)).generate_state(reps)
+        self._samplers = [
+            L1Sampler(universe, eps=0.5, seed=int(sd), rounds=sampler_rounds)
+            for sd in seeds
+        ]
+
+    def update_many(self, indices, deltas) -> None:
+        self._recovery.update_many(indices, deltas)
+        for sampler in self._samplers:
+            sampler.update_many(indices, deltas)
+
+    def update(self, index: int, delta) -> None:
+        self.update_many(np.array([index], dtype=np.int64),
+                         np.array([delta], dtype=np.int64))
+
+    def result(self):
+        """NO_POSITIVE | SampleResult(index) | SampleResult.fail."""
+        recovered = self._recovery.recover()
+        if not recovered.dense:
+            positive = recovered.indices[recovered.values > 0]
+            if positive.size == 0:
+                return NO_POSITIVE
+            return SampleResult.ok(int(positive[0]), exact=True)
+        for rep, sampler in enumerate(self._samplers):
+            res = sampler.sample()
+            if res.failed or res.estimate is None:
+                continue
+            if res.estimate > 0:
+                return SampleResult.ok(res.index, res.estimate,
+                                       repetition=rep)
+        return SampleResult.fail("dense-and-no-positive-sample")
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(label=f"positive-finder(s={self.s_bound})")
+        report.add(self._recovery.space_report())
+        for sampler in self._samplers:
+            report.add(sampler.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        return self.space_report().total

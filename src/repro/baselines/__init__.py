@@ -1,0 +1,8 @@
+"""Prior-work comparators: AKO [1], FIS [12], GR [14] cost shapes."""
+
+from .ako import AKOSampler, AKOSamplerRound
+from .fis import FISL0Sampler
+from .gr_duplicates import GRDuplicatesBaseline
+
+__all__ = ["AKOSampler", "AKOSamplerRound", "FISL0Sampler",
+           "GRDuplicatesBaseline"]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational wrapper so the library can be poked without writing
+code — each subcommand builds a synthetic workload, runs the relevant
+structure, and prints what the paper says should happen.
+
+Commands
+--------
+``sample``      draw Lp samples from a random turnstile vector
+``l0``          draw L0 (support) samples
+``duplicates``  find a duplicate in a random length-(n+1) item stream
+``hh``          report Lp heavy hitters on a planted instance
+``space``       print the space table for a structure across n
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lp samplers, duplicates and heavy hitters "
+                    "(Jowhari-Saglam-Tardos, PODS 2011)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sample = sub.add_parser("sample", help="draw Lp samples")
+    sample.add_argument("-n", "--universe", type=int, default=1024)
+    sample.add_argument("-p", type=float, default=1.0)
+    sample.add_argument("--eps", type=float, default=0.25)
+    sample.add_argument("--count", type=int, default=5)
+    sample.add_argument("--seed", type=int, default=0)
+
+    l0 = sub.add_parser("l0", help="draw L0 support samples")
+    l0.add_argument("-n", "--universe", type=int, default=1024)
+    l0.add_argument("--support", type=int, default=50)
+    l0.add_argument("--count", type=int, default=5)
+    l0.add_argument("--seed", type=int, default=0)
+
+    dup = sub.add_parser("duplicates", help="find a duplicate item")
+    dup.add_argument("-n", "--universe", type=int, default=512)
+    dup.add_argument("--delta", type=float, default=0.1)
+    dup.add_argument("--seed", type=int, default=0)
+
+    hh = sub.add_parser("hh", help="report heavy hitters")
+    hh.add_argument("-n", "--universe", type=int, default=1024)
+    hh.add_argument("-p", type=float, default=1.0)
+    hh.add_argument("--phi", type=float, default=0.125)
+    hh.add_argument("--seed", type=int, default=0)
+
+    space = sub.add_parser("space", help="space scaling table")
+    space.add_argument("structure",
+                       choices=["lp", "ako", "l0", "fis", "duplicates"])
+    space.add_argument("--logn", type=int, nargs="+",
+                       default=[8, 12, 16])
+    return parser
+
+
+def _cmd_sample(args) -> int:
+    from repro import LpSampler, lp_distribution
+    from repro.streams import vector_to_stream, zipf_vector
+
+    vec = zipf_vector(args.universe, scale=1000, seed=args.seed)
+    stream = vector_to_stream(vec, seed=args.seed)
+    truth = lp_distribution(vec, args.p)
+    print(f"universe n={args.universe}, p={args.p}, eps={args.eps}")
+    for t in range(args.count):
+        sampler = LpSampler(args.universe, args.p, args.eps, delta=0.1,
+                            seed=args.seed + t)
+        stream.apply_to(sampler)
+        result = sampler.sample()
+        if result.failed:
+            print(f"  [{t}] FAIL ({result.reason})")
+        else:
+            print(f"  [{t}] i={result.index}  x_i~{result.estimate:.1f} "
+                  f"(true {vec[result.index]}, "
+                  f"Lp weight {truth[result.index]:.4f})")
+    return 0
+
+
+def _cmd_l0(args) -> int:
+    from repro import L0Sampler
+    from repro.streams import sparse_vector, vector_to_stream
+
+    vec = sparse_vector(args.universe, args.support, seed=args.seed)
+    stream = vector_to_stream(vec, seed=args.seed)
+    print(f"universe n={args.universe}, |support|={args.support}")
+    for t in range(args.count):
+        sampler = L0Sampler(args.universe, delta=0.1, seed=args.seed + t)
+        stream.apply_to(sampler)
+        result = sampler.sample()
+        if result.failed:
+            print(f"  [{t}] FAIL ({result.reason})")
+        else:
+            exact = "exact" if vec[result.index] == result.estimate \
+                else "WRONG"
+            print(f"  [{t}] i={result.index}  x_i={result.estimate:.0f} "
+                  f"({exact})")
+    return 0
+
+
+def _cmd_duplicates(args) -> int:
+    from repro import DuplicateFinder
+    from repro.streams import duplicate_stream
+
+    instance = duplicate_stream(args.universe, seed=args.seed)
+    finder = DuplicateFinder(args.universe, delta=args.delta,
+                             seed=args.seed)
+    finder.process_items(instance.items)
+    result = finder.result()
+    print(f"stream of {len(instance.items)} items over "
+          f"[0, {args.universe})")
+    if result.failed:
+        print(f"FAIL ({result.reason}) — within the delta={args.delta} "
+              f"budget")
+        return 1
+    genuine = result.index in set(instance.duplicates.tolist())
+    print(f"duplicate: {result.index} (genuine: {genuine}); "
+          f"space {finder.space_bits()} bits")
+    return 0
+
+
+def _cmd_hh(args) -> int:
+    from repro import CountSketchHeavyHitters, is_valid_heavy_hitter_set
+    from repro.streams import heavy_hitter_instance, vector_to_stream
+
+    instance = heavy_hitter_instance(args.universe, p=args.p, phi=args.phi,
+                                     seed=args.seed)
+    algo = CountSketchHeavyHitters(args.universe, args.p, args.phi,
+                                   seed=args.seed)
+    vector_to_stream(instance.vector, seed=args.seed).apply_to(algo)
+    reported = algo.heavy_hitters()
+    valid = is_valid_heavy_hitter_set(reported, instance.vector, args.p,
+                                      args.phi)
+    print(f"planted: {instance.required().tolist()}")
+    print(f"reported: {reported.tolist()}  valid: {valid}")
+    print(f"space: {algo.space_bits()} bits (m={algo.m})")
+    return 0 if valid else 1
+
+
+def _cmd_space(args) -> int:
+    from repro.apps.duplicates import DuplicateFinder
+    from repro.baselines.ako import AKOSamplerRound
+    from repro.baselines.fis import FISL0Sampler
+    from repro.core import L0Sampler, LpSamplerRound
+
+    builders = {
+        "lp": lambda n: LpSamplerRound(n, 1.5, 0.25, seed=1),
+        "ako": lambda n: AKOSamplerRound(n, 1.5, 0.25, seed=1),
+        "l0": lambda n: L0Sampler(n, delta=0.25, seed=1),
+        "fis": lambda n: FISL0Sampler(n, seed=1),
+        "duplicates": lambda n: DuplicateFinder(n, delta=0.25, seed=1,
+                                                sampler_rounds=2),
+    }
+    build = builders[args.structure]
+    print(f"{'log2 n':>8} {'bits':>12}")
+    for log_n in args.logn:
+        print(f"{log_n:>8} {build(1 << log_n).space_bits():>12}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "sample": _cmd_sample,
+        "l0": _cmd_l0,
+        "duplicates": _cmd_duplicates,
+        "hh": _cmd_hh,
+        "space": _cmd_space,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Communication problems and the paper's lower-bound reductions."""
+
+from .augmented_indexing import (AugmentedIndexingInstance, random_instance
+                                 as random_ai_instance, referee)
+from .protocol import ProtocolResult, information_floor_bits
+from .reductions import (augmented_indexing_via_heavy_hitters,
+                         augmented_indexing_via_ur, decode_ai_from_ur_index,
+                         duplicates_protocol_for_ur, hh_vectors_from_ai,
+                         sampler_finds_duplicate, ur_vectors_from_ai)
+from .universal_relation import (URInstance, deterministic_protocol,
+                                 one_round_protocol,
+                                 random_instance as random_ur_instance,
+                                 symmetrize, two_round_protocol)
+
+__all__ = [
+    "AugmentedIndexingInstance", "random_ai_instance", "referee",
+    "ProtocolResult", "information_floor_bits",
+    "augmented_indexing_via_heavy_hitters", "augmented_indexing_via_ur",
+    "decode_ai_from_ur_index", "duplicates_protocol_for_ur",
+    "hh_vectors_from_ai", "sampler_finds_duplicate", "ur_vectors_from_ai",
+    "URInstance", "deterministic_protocol", "one_round_protocol",
+    "random_ur_instance", "symmetrize", "two_round_protocol",
+]

@@ -1,0 +1,53 @@
+"""The augmented indexing problem (the source of every lower bound).
+
+Alice holds ``z in [k]^m``; Bob holds an index ``i in [m]`` and the
+prefix ``z_j for j < i``.  After one message from Alice, Bob must
+output ``z_i``.  Lemma 6 ([22]): success probability ``1 - delta >
+3/(2k)`` forces a message of ``Omega((1 - delta) m log k)`` bits.
+
+This module only models the *problem* (instances and the referee);
+the reductions that turn streaming algorithms into AI protocols live in
+:mod:`repro.comm.reductions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AugmentedIndexingInstance:
+    """One instance: Alice's string, Bob's index, and Bob's prefix view."""
+
+    alphabet: int           # k = 2^t in the paper's constructions
+    string: tuple           # z, Alice's input, length m, entries in [0, k)
+    index: int              # Bob's query position (0-based)
+
+    @property
+    def length(self) -> int:
+        return len(self.string)
+
+    @property
+    def prefix(self) -> tuple:
+        """What Bob knows: z_j for j < index."""
+        return self.string[: self.index]
+
+    @property
+    def answer(self) -> int:
+        return self.string[self.index]
+
+
+def random_instance(length: int, alphabet: int,
+                    seed=0) -> AugmentedIndexingInstance:
+    """A uniformly random augmented-indexing instance."""
+    rng = np.random.default_rng(seed)
+    string = tuple(int(v) for v in rng.integers(0, alphabet, size=length))
+    index = int(rng.integers(0, length))
+    return AugmentedIndexingInstance(int(alphabet), string, index)
+
+
+def referee(instance: AugmentedIndexingInstance, output: int | None) -> bool:
+    """Did the protocol answer the query correctly?"""
+    return output is not None and int(output) == instance.answer

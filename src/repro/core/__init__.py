@@ -1,0 +1,26 @@
+"""The paper's core contribution: precision Lp sampling and L0 sampling."""
+
+from .base import SampleResult, StreamingSampler
+from .distributed import DistributedSampler
+from .l0_sampler import L0Sampler
+from .lp_sampler import L1Sampler, LpSampler, LpSamplerRound
+from .params import (DEFAULT_CONFIG, LpSamplerConfig, beta,
+                     count_sketch_rows, independence_k, repetitions,
+                     sketch_size_m)
+from .perfect import PerfectLpSampler, lp_distribution, total_variation
+from .priority import PrioritySampler
+from .repeated import RepeatedSampler
+from .reservoir import ReservoirSampler
+from .sliding_window import ChainSampler
+from .two_pass import TwoPassL0Sampler
+
+__all__ = [
+    "SampleResult", "StreamingSampler",
+    "ChainSampler", "DistributedSampler",
+    "L0Sampler", "L1Sampler", "LpSampler", "LpSamplerRound",
+    "DEFAULT_CONFIG", "LpSamplerConfig", "beta", "count_sketch_rows",
+    "independence_k", "repetitions", "sketch_size_m",
+    "PerfectLpSampler", "PrioritySampler", "lp_distribution",
+    "total_variation",
+    "RepeatedSampler", "ReservoirSampler", "TwoPassL0Sampler",
+]

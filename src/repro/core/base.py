@@ -1,0 +1,58 @@
+"""Common sampler interfaces and the FAIL-aware result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of one sampling attempt.
+
+    The paper's algorithms output FAIL explicitly rather than raising,
+    so failure is a value here too.  ``diagnostics`` carries the
+    internal quantities of the recovery stage (r, s, thresholds) for
+    the Lemma 3/4 experiments.
+    """
+
+    failed: bool
+    index: int | None = None
+    estimate: float | None = None
+    reason: str = ""
+    diagnostics: dict = field(default_factory=dict)
+
+    @staticmethod
+    def fail(reason: str, **diagnostics) -> "SampleResult":
+        return SampleResult(failed=True, reason=reason,
+                            diagnostics=dict(diagnostics))
+
+    @staticmethod
+    def ok(index: int, estimate: float | None = None,
+           **diagnostics) -> "SampleResult":
+        return SampleResult(failed=False, index=index, estimate=estimate,
+                            diagnostics=dict(diagnostics))
+
+
+class StreamingSampler:
+    """Interface shared by every sampler in the library.
+
+    A sampler consumes turnstile updates and, once the stream ends,
+    produces a :class:`SampleResult` from :meth:`sample`.  ``sample``
+    must be read-only: calling it twice returns the same result, and
+    updates may continue afterwards (linear sketches don't care).
+    """
+
+    universe: int
+
+    def update(self, index: int, delta) -> None:
+        raise NotImplementedError
+
+    def update_many(self, indices, deltas) -> None:
+        for i, u in zip(indices, deltas):
+            self.update(int(i), u)
+
+    def sample(self) -> SampleResult:
+        raise NotImplementedError
+
+    def space_bits(self) -> int:
+        raise NotImplementedError

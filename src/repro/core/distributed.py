@@ -1,0 +1,115 @@
+"""Uniform sampling from distributed streams (Cormode et al. [10]).
+
+The related-work section's other axis: ``k`` sites each observe an
+insertion stream; a coordinator must hold a uniform random sample of
+the union while exchanging as few messages as possible.  The classical
+scheme (for a single sample) is min-tagging:
+
+* every arriving item gets a tag ``u`` uniform in (0, 1) (derived here
+  from a shared counter RNG so sites need no coordination);
+* a site forwards an item to the coordinator iff its tag beats the
+  smallest tag the site has ever forwarded;
+* the coordinator keeps the global minimum-tag item — a uniform sample
+  of everything seen — and occasionally broadcasts the global minimum
+  so sites can prune harder.
+
+Each site forwards O(log n) items in expectation (the running-minimum
+record count), so total communication is O(k log n) messages — the
+bound the paper cites.  Like reservoirs, this is insertion-only; the
+turnstile generalisation is exactly what the paper's samplers provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.prng import CounterRNG
+from ..space.accounting import SpaceReport, counter_bits
+from .base import SampleResult
+
+
+class _Site:
+    """One stream site: forwards running-minimum-tag items."""
+
+    def __init__(self, site_id: int, rng: CounterRNG):
+        self.site_id = site_id
+        self._rng = rng
+        self._sequence = 0
+        self.best_tag = np.inf
+        self.messages_sent = 0
+
+    def observe(self, item: int) -> tuple[float, int] | None:
+        """Process an arrival; return a (tag, item) message or None."""
+        key = (np.uint64(self.site_id) << np.uint64(40)) \
+            ^ np.uint64(self._sequence)
+        self._sequence += 1
+        tag = float(self._rng.uniform(np.array([key], dtype=np.uint64))[0])
+        if tag < self.best_tag:
+            self.best_tag = tag
+            self.messages_sent += 1
+            return tag, int(item)
+        return None
+
+    def prune(self, global_best: float) -> None:
+        """Coordinator broadcast: never forward tags above this again."""
+        self.best_tag = min(self.best_tag, global_best)
+
+
+class DistributedSampler:
+    """Coordinator + k sites maintaining one uniform union sample."""
+
+    def __init__(self, universe: int, sites: int, seed: int = 0,
+                 broadcast_every: int = 8):
+        if sites < 1:
+            raise ValueError("need at least one site")
+        self.universe = int(universe)
+        self.sites = int(sites)
+        self.broadcast_every = int(broadcast_every)
+        rng = CounterRNG(np.random.SeedSequence((seed, 0xD157))
+                         .generate_state(1, dtype=np.uint64)[0])
+        self._sites = [_Site(s, rng) for s in range(sites)]
+        self._best_tag = np.inf
+        self._best_item: int | None = None
+        self._since_broadcast = 0
+        self.broadcasts = 0
+
+    def observe(self, site: int, item: int) -> None:
+        """Item arrives at a site; forward/broadcast as the protocol says."""
+        message = self._sites[site].observe(int(item))
+        if message is None:
+            return
+        tag, forwarded = message
+        if tag < self._best_tag:
+            self._best_tag = tag
+            self._best_item = forwarded
+        self._since_broadcast += 1
+        if self._since_broadcast >= self.broadcast_every:
+            self._since_broadcast = 0
+            self.broadcasts += 1
+            for s in self._sites:
+                s.prune(self._best_tag)
+
+    def observe_many(self, site_ids, items) -> None:
+        for s, item in zip(np.asarray(site_ids).tolist(),
+                           np.asarray(items).tolist()):
+            self.observe(int(s), int(item))
+
+    def sample(self) -> SampleResult:
+        if self._best_item is None:
+            return SampleResult.fail("no-items-observed")
+        return SampleResult.ok(self._best_item, tag=self._best_tag)
+
+    @property
+    def total_messages(self) -> int:
+        """Site->coordinator messages (the O(k log n) quantity)."""
+        return sum(s.messages_sent for s in self._sites)
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(
+            label=f"distributed-sampler(sites={self.sites})",
+            counter_count=2 * (self.sites + 1),
+            bits_per_counter=counter_bits(self.universe),
+            seed_bits=64)
+
+    def space_bits(self) -> int:
+        return self.space_report().total

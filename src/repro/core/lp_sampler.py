@@ -1,0 +1,224 @@
+"""The precision Lp-sampler of Figure 1 (the paper's main contribution).
+
+One round of the algorithm, exactly as the paper lays it out:
+
+**Initialization** — pick ``k``-wise independent uniform scaling
+factors ``t_i in (0, 1]`` (``k = 10 ceil(1/|p-1|)``, or O(log 1/eps) at
+p = 1); a count-sketch of size ``m`` for the scaled vector
+``z_i = x_i / t_i^(1/p)``; a Lemma 2 sketch for ``||x||_p``; a
+tug-of-war sketch for ``||z - zhat||_2``.  ``beta = eps^(1-1/p)``.
+
+**Processing** — every update ``(i, u)`` feeds the count-sketch and the
+L2 sketch with weight ``u / t_i^(1/p)`` and the Lp-norm sketch with
+``u`` itself.  The scaling factors are never stored: they are re-derived
+from the hash on every touch.
+
+**Recovery** —
+
+1. ``z* =`` count-sketch output; ``zhat =`` its best m-sparse part;
+2. ``r`` with ``||x||_p <= r <= 2||x||_p`` from the norm sketch;
+3. ``s`` with ``||z - zhat||_2 <= s <= 2||z - zhat||_2`` from the
+   tug-of-war sketch of ``z`` minus (by linearity) the sketch of
+   ``zhat``;
+4. ``i = argmax |z*_i|``;
+5. FAIL if ``s > beta * sqrt(m) * r`` (the tail is too heavy: Lemma 3
+   says this happens with probability O(eps), even conditioned on any
+   single ``t_i``) or if ``|z*_i| < eps^(-1/p) * r`` (no coordinate
+   crossed the sampling threshold);
+6. otherwise output ``i`` and the estimate ``z*_i * t_i^(1/p)`` of x_i.
+
+Conditioned on not failing, index ``i`` is returned with probability
+``(1 +- O(eps)) |x_i|^p / ||x||_p^p`` and the estimate has relative
+error at most ``eps`` whp (Lemma 4); one round succeeds with
+probability Theta(eps), so Theorem 1 wraps ``O(log(1/delta)/eps)``
+parallel rounds (see :mod:`repro.core.repeated`).
+
+Space per round: the count-sketch dominates at ``O(m log n)`` counters
+of O(log n) bits = ``O(eps^-max(1,p) log^2 n)`` bits after the standard
+discretization — the paper's headline, one log factor below
+Andoni–Krauthgamer–Onak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.kwise import UniformScalarHash, derive_rngs
+from ..sketch.ams import AMSSketch
+from ..sketch.count_sketch import CountSketch
+from ..sketch.stable import StableSketch
+from ..space.accounting import SpaceReport
+from .base import SampleResult, StreamingSampler
+from .params import (DEFAULT_CONFIG, LpSamplerConfig, beta,
+                     count_sketch_rows, independence_k, sketch_size_m)
+
+
+class LpSamplerRound(StreamingSampler):
+    """A single round of the Figure 1 sampler.
+
+    Succeeds with probability Theta(eps); wrap it in
+    :class:`~repro.core.repeated.RepeatedSampler` for a
+    delta-failure-rate sampler as in Theorem 1.
+    """
+
+    def __init__(self, universe: int, p: float, eps: float, seed: int = 0,
+                 config: LpSamplerConfig = DEFAULT_CONFIG):
+        if not 0.0 < p < 2.0:
+            raise ValueError("Figure 1 handles p in (0, 2); use L0Sampler "
+                             "for p = 0 (no O(log^2 n) method is known "
+                             "for p = 2, see Section 2)")
+        self.universe = int(universe)
+        self.p = float(p)
+        self.eps = float(eps)
+        self.seed = int(seed)
+        self.config = config
+
+        self.k = independence_k(p, eps, config)
+        self.m = sketch_size_m(p, eps, config)
+        self.beta = beta(p, eps)
+        rows = count_sketch_rows(universe, config)
+        from ..sketch.stable import rows_for_stable
+        stable_rows = rows_for_stable(universe, p,
+                                      config.stable_rows_const)
+
+        (scalar_rng,) = derive_rngs(np.random.SeedSequence((self.seed, 0x7)), 1)
+        self._scalars = UniformScalarHash(self.k, scalar_rng)
+        self._count_sketch = CountSketch(universe, m=self.m, rows=rows,
+                                         seed=self.seed * 31 + 1)
+        self._norm_sketch = StableSketch(universe, p, rows=stable_rows,
+                                         seed=self.seed * 31 + 2)
+        self._tail_sketch = AMSSketch(universe, groups=config.ams_groups,
+                                      per_group=config.ams_per_group,
+                                      seed=self.seed * 31 + 3)
+
+    # -- processing stage -------------------------------------------------------
+
+    def scaling_factors(self, indices) -> np.ndarray:
+        """The k-wise independent ``t_i`` (re-derived, never stored)."""
+        return self._scalars(np.asarray(indices, dtype=np.uint64))
+
+    def update_many(self, indices, deltas) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        dlt = np.asarray(deltas, dtype=np.float64)
+        scale = self.scaling_factors(idx) ** (-1.0 / self.p)
+        self._count_sketch.update_many(idx, dlt * scale)
+        self._tail_sketch.update_many(idx, dlt * scale)
+        self._norm_sketch.update_many(idx, dlt)
+
+    def update(self, index: int, delta) -> None:
+        self.update_many(np.array([index], dtype=np.int64),
+                         np.array([delta], dtype=np.float64))
+
+    # -- recovery stage -----------------------------------------------------------
+
+    def sample(self) -> SampleResult:
+        # Step 1: count-sketch output and its best m-sparse approximation.
+        zhat_idx, zhat_val = self._count_sketch.best_sparse_approximation()
+        # Step 2: r with ||x||_p <= r <= 2 ||x||_p.
+        r = self._norm_sketch.norm_upper()
+        if r <= 0.0:
+            return SampleResult.fail("zero-vector", r=r)
+        # Step 3: s with ||z - zhat||_2 <= s <= 2 ||z - zhat||_2, computed
+        # from L'(z) - L'(zhat) by linearity.
+        tail = self._tail_sketch.copy()
+        zhat_sketch = AMSSketch(self.universe, groups=self.config.ams_groups,
+                                per_group=self.config.ams_per_group,
+                                seed=self.seed * 31 + 3)
+        zhat_sketch.sketch_vector(indices=zhat_idx, values=zhat_val)
+        tail.subtract(zhat_sketch)
+        s = tail.upper_l2()
+        # Step 4: the heaviest estimated coordinate.
+        index = int(zhat_idx[0])
+        z_star = float(zhat_val[0])
+        # Step 5: the two FAIL tests.
+        tail_threshold = (self.config.tail_slack * self.beta
+                          * np.sqrt(self.m) * r)
+        weight_threshold = self.eps ** (-1.0 / self.p) * r
+        diagnostics = dict(r=r, s=s, z_star=z_star,
+                           tail_threshold=tail_threshold,
+                           weight_threshold=weight_threshold)
+        if s > tail_threshold:
+            return SampleResult.fail("tail-too-heavy", **diagnostics)
+        if abs(z_star) < weight_threshold:
+            return SampleResult.fail("below-threshold", **diagnostics)
+        # Step 6: the sample and the x_i estimate.
+        t_i = float(self.scaling_factors(np.array([index]))[0])
+        estimate = z_star * t_i ** (1.0 / self.p)
+        return SampleResult.ok(index, estimate, t=t_i, **diagnostics)
+
+    # -- space ---------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(label=f"lp-sampler-round(p={self.p}, "
+                                   f"eps={self.eps})",
+                             seed_bits=self._scalars.space_bits())
+        report.add(self._count_sketch.space_report())
+        report.add(self._norm_sketch.space_report())
+        report.add(self._tail_sketch.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        return self.space_report().total
+
+
+class LpSampler(StreamingSampler):
+    """Theorem 1: eps relative error, delta failure, one pass.
+
+    Runs ``v = O(log(1/delta)/eps)`` independent rounds in parallel and
+    returns the first non-failing output.  For ``v >= n`` the paper
+    notes one should simply record the vector; we expose that as the
+    ``dense_fallback`` escape hatch (disabled by default so the space
+    accounting stays honest).
+    """
+
+    def __init__(self, universe: int, p: float, eps: float,
+                 delta: float = 0.5, seed: int = 0,
+                 config: LpSamplerConfig = DEFAULT_CONFIG,
+                 rounds: int | None = None):
+        from .params import repetitions
+        from .repeated import RepeatedSampler
+
+        self.universe = int(universe)
+        self.p = float(p)
+        self.eps = float(eps)
+        self.delta = float(delta)
+        v = repetitions(eps, delta) if rounds is None else int(rounds)
+        self._repeated = RepeatedSampler(
+            lambda round_seed: LpSamplerRound(universe, p, eps,
+                                              seed=round_seed, config=config),
+            rounds=v, seed=seed)
+
+    @property
+    def rounds(self) -> int:
+        return self._repeated.rounds
+
+    def update(self, index: int, delta) -> None:
+        """Apply a turnstile update to every parallel round."""
+        self._repeated.update(index, delta)
+
+    def update_many(self, indices, deltas) -> None:
+        """Vectorised form of :meth:`update`."""
+        self._repeated.update_many(indices, deltas)
+
+    def sample(self) -> SampleResult:
+        """The first non-failing round's output (Theorem 1 semantics)."""
+        return self._repeated.sample()
+
+    def space_report(self) -> SpaceReport:
+        """Itemised space across all rounds (paper accounting)."""
+        return self._repeated.space_report()
+
+    def space_bits(self) -> int:
+        """Total space in bits across all rounds."""
+        return self._repeated.space_bits()
+
+
+class L1Sampler(LpSampler):
+    """Convenience p = 1 instantiation (the duplicates engine)."""
+
+    def __init__(self, universe: int, eps: float = 0.5, delta: float = 0.5,
+                 seed: int = 0, config: LpSamplerConfig = DEFAULT_CONFIG,
+                 rounds: int | None = None):
+        super().__init__(universe, 1.0, eps, delta, seed, config, rounds)

@@ -1,0 +1,122 @@
+"""Parameter settings of the Figure 1 sampler, as the paper states them.
+
+Initialization stage of Figure 1:
+
+1. For ``0 < p < 2, p != 1``: ``k = 10 * ceil(1/|p-1|)`` and
+   ``m = O(eps^-max(0, p-1))`` with a large enough constant factor.
+2. For ``p = 1``: ``k = m = O(log(1/eps))`` with a large enough constant.
+3. ``beta = eps^(1 - 1/p)`` and ``l = O(log n)``.
+
+The "large enough constant factor" phrases are the knobs a finite-n
+reproduction must pin down; :class:`LpSamplerConfig` collects them with
+defaults calibrated by the test-suite so the Lemma 3/4 events hold at
+the advertised rates for n up to 2^18.  Every constant documents which
+step of the analysis consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LpSamplerConfig:
+    """Tunable constants of the Figure 1 sampler.
+
+    Attributes
+    ----------
+    m_const:
+        Multiplies ``eps^-(p-1)`` (p > 1) / ``1`` (p < 1) in the
+        count-sketch size ``m`` — the Lemma 3 concentration constant.
+    m_const_p1:
+        Multiplies ``log2(1/eps)`` at p = 1 (same role).
+    k_const:
+        The paper fixes 10; multiplies ``ceil(1/|p-1|)`` in the
+        independence ``k`` of the scaling factors.
+    k_const_p1:
+        Multiplies ``log2(1/eps)`` in ``k`` at p = 1.
+    cs_rows_const:
+        Count-sketch rows ``l = cs_rows_const * log2 n`` (Lemma 1's
+        high-probability median argument).
+    stable_rows_const:
+        Rows of the Lemma 2 norm estimator, ``stable_rows_const * log2 n``.
+    ams_groups:
+        Median groups of the tug-of-war estimator for ``||z - zhat||_2``.
+    ams_per_group:
+        Counters per group (mean reduction) of the same estimator.
+    tail_slack:
+        Multiplies the abort threshold ``beta * sqrt(m) * r`` — 1.0 is
+        the paper's test; larger values trade success rate for error.
+    """
+
+    m_const: float = 8.0
+    m_const_p1: float = 8.0
+    k_const: float = 10.0
+    k_const_p1: float = 2.0
+    cs_rows_const: float = 2.0
+    stable_rows_const: float = 5.0
+    ams_groups: int = 7
+    ams_per_group: int = 6
+    tail_slack: float = 1.0
+
+
+DEFAULT_CONFIG = LpSamplerConfig()
+
+
+def independence_k(p: float, eps: float,
+                   config: LpSamplerConfig = DEFAULT_CONFIG) -> int:
+    """Figure 1 step 1/2: the k-wise independence of the scaling factors."""
+    _validate(p, eps)
+    if abs(p - 1.0) < 1e-9:
+        return max(2, int(np.ceil(config.k_const_p1 * np.log2(1.0 / eps))))
+    return max(2, int(config.k_const * np.ceil(1.0 / abs(p - 1.0))))
+
+
+def sketch_size_m(p: float, eps: float,
+                  config: LpSamplerConfig = DEFAULT_CONFIG) -> int:
+    """Figure 1 step 1/2: the count-sketch parameter ``m``."""
+    _validate(p, eps)
+    if abs(p - 1.0) < 1e-9:
+        return max(2, int(np.ceil(config.m_const_p1
+                                  * max(1.0, np.log2(1.0 / eps)))))
+    return max(2, int(np.ceil(config.m_const
+                              * eps ** (-max(0.0, p - 1.0)))))
+
+
+def beta(p: float, eps: float) -> float:
+    """Figure 1 step 3: ``beta = eps^(1 - 1/p)``.
+
+    ``beta * eps^(1/p) = eps`` is the relative-error budget; for p < 1
+    beta exceeds 1, for p = 1 it equals 1.
+    """
+    _validate(p, eps)
+    return float(eps ** (1.0 - 1.0 / p))
+
+
+def count_sketch_rows(universe: int,
+                      config: LpSamplerConfig = DEFAULT_CONFIG) -> int:
+    """Figure 1 step 3: ``l = O(log n)`` (odd, for clean medians)."""
+    return max(5, int(np.ceil(config.cs_rows_const
+                              * np.log2(max(2, universe)))) | 1)
+
+
+def repetitions(eps: float, delta: float) -> int:
+    """Theorem 1: ``v = O(log(1/delta)/eps)`` parallel rounds.
+
+    One round succeeds with probability at least ``eps / 2^p >= eps/4``;
+    ``v = ceil(4 * ln(1/delta) / eps)`` drives failure below delta.
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    if not 0 < eps < 1:
+        raise ValueError("eps must lie in (0, 1)")
+    return max(1, int(np.ceil(4.0 * np.log(1.0 / delta) / eps)))
+
+
+def _validate(p: float, eps: float) -> None:
+    if not 0.0 < p < 2.0:
+        raise ValueError("the Figure 1 sampler requires p in (0, 2)")
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie in (0, 1)")

@@ -1,0 +1,116 @@
+"""Priority sampling (Duffield–Lund–Thorup [11], the related-work root).
+
+The paper's related-work section traces its random-scaling idea to
+*priority sampling*: for a vector built by **positive** updates, assign
+each item ``i`` of weight ``w_i`` the priority ``q_i = w_i / u_i`` with
+``u_i`` uniform in (0, 1] — precisely the ``z_i = x_i / t_i`` scaling of
+Figure 1 at p = 1 — keep the ``k`` highest-priority items, and estimate
+the weight of any subset ``S`` by
+
+    W_hat(S) = sum over kept i in S of max(w_i, tau),
+
+where ``tau`` is the (k+1)-st highest priority.  The estimator is
+unbiased for every subset simultaneously (Duffield et al.), which makes
+priority sampling the classical subset-sum tool this paper's samplers
+generalise to turnstile streams.
+
+Restrictions faithful to the original: insertion-only (weights
+accumulate, never shrink); the structure keeps k+1 (item, priority)
+pairs — O(k) words.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..hashing.prng import CounterRNG
+from ..space.accounting import SpaceReport, counter_bits
+
+
+class PrioritySampler:
+    """k-item priority sample over an insertion-only weighted stream.
+
+    Weights for a repeated item accumulate before the priority is
+    formed, implemented by re-deriving ``u_i`` from a counter RNG so the
+    priority of item i is always ``total_weight_i / u_i``.
+    """
+
+    def __init__(self, universe: int, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.universe = int(universe)
+        self.k = int(k)
+        self.seed = int(seed)
+        self._rng = CounterRNG(np.random.SeedSequence((seed, 0x9121))
+                               .generate_state(1, dtype=np.uint64)[0])
+        self._weights: dict[int, float] = {}
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(self, index: int, delta) -> None:
+        """Add positive weight to an item."""
+        delta = float(delta)
+        if delta <= 0:
+            raise ValueError("priority sampling is insertion-only; "
+                             "use LpSampler for general updates")
+        self._weights[int(index)] = \
+            self._weights.get(int(index), 0.0) + delta
+        self._evict()
+
+    def update_many(self, indices, deltas) -> None:
+        for i, u in zip(np.asarray(indices).tolist(),
+                        np.asarray(deltas).tolist()):
+            self.update(int(i), u)
+
+    def _priority(self, index: int, weight: float) -> float:
+        u = float(self._rng.uniform(np.array([index], dtype=np.uint64))[0])
+        return weight / u
+
+    def _evict(self) -> None:
+        """Keep only the k+1 highest-priority items (O(k) space)."""
+        if len(self._weights) <= self.k + 1:
+            return
+        ranked = heapq.nlargest(
+            self.k + 1, self._weights.items(),
+            key=lambda kv: self._priority(kv[0], kv[1]))
+        self._weights = dict(ranked)
+
+    # -- queries -------------------------------------------------------------------
+
+    def sample(self) -> list[tuple[int, float]]:
+        """The k kept (item, weight) pairs, highest priority first."""
+        ranked = sorted(self._weights.items(),
+                        key=lambda kv: -self._priority(kv[0], kv[1]))
+        return ranked[: self.k]
+
+    def threshold(self) -> float:
+        """tau: the (k+1)-st highest priority (0 if fewer items)."""
+        if len(self._weights) <= self.k:
+            return 0.0
+        priorities = sorted((self._priority(i, w)
+                             for i, w in self._weights.items()),
+                            reverse=True)
+        return priorities[self.k]
+
+    def subset_sum_estimate(self, subset) -> float:
+        """Unbiased estimate of ``sum of w_i over i in subset``."""
+        members = set(int(i) for i in np.asarray(subset).tolist())
+        tau = self.threshold()
+        total = 0.0
+        for index, weight in self.sample():
+            if index in members:
+                total += max(weight, tau)
+        return total
+
+    # -- space ---------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(label=f"priority-sampler(k={self.k})",
+                           counter_count=2 * (self.k + 1),
+                           bits_per_counter=counter_bits(self.universe),
+                           seed_bits=64)
+
+    def space_bits(self) -> int:
+        return self.space_report().total

@@ -1,0 +1,59 @@
+"""Parallel repetition of a failure-prone sampler (Theorem 1/2 wrapper).
+
+The paper amplifies a Theta(eps)-success round to failure probability
+``delta`` by running ``v = O(log(1/delta)/eps)`` independent copies *in
+parallel* (a streaming algorithm cannot re-read the stream) and taking
+the first non-failing output.  Conditioned on producing an output, the
+output distribution of each round is unchanged, so the amplified
+sampler keeps the per-round relative-error guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..space.accounting import SpaceReport
+from .base import SampleResult, StreamingSampler
+
+
+class RepeatedSampler(StreamingSampler):
+    """Feed every update to ``rounds`` samplers; sample from the first
+    one that does not FAIL."""
+
+    def __init__(self, factory, rounds: int, seed: int = 0):
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        self.rounds = int(rounds)
+        self.seed = int(seed)
+        seeds = np.random.SeedSequence((seed, 0xF1E7)).generate_state(rounds)
+        self.instances = [factory(int(s)) for s in seeds]
+        self.universe = self.instances[0].universe
+
+    def update(self, index: int, delta) -> None:
+        for instance in self.instances:
+            instance.update(index, delta)
+
+    def update_many(self, indices, deltas) -> None:
+        for instance in self.instances:
+            instance.update_many(indices, deltas)
+
+    def sample(self) -> SampleResult:
+        last = None
+        for round_no, instance in enumerate(self.instances):
+            result = instance.sample()
+            if not result.failed:
+                return SampleResult.ok(result.index, result.estimate,
+                                       round=round_no,
+                                       **result.diagnostics)
+            last = result
+        reason = last.reason if last is not None else "no-rounds"
+        return SampleResult.fail(f"all-rounds-failed({reason})")
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(label=f"repeated(x{self.rounds})")
+        for instance in self.instances:
+            report.add(instance.space_report())
+        return report
+
+    def space_bits(self) -> int:
+        return self.space_report().total

@@ -1,0 +1,65 @@
+"""Classical reservoir sampling (the paper's introduction baseline).
+
+For *insertion-only* streams and p = 1 the problem is solved by the
+reservoir sampler the paper attributes to Alan G. Waterman (via Knuth
+[20]): on update ``(i, u)`` with ``u > 0``, having maintained the sum
+``s`` of all updates so far, replace the current sample with ``i`` with
+probability ``u / s``.  A perfect L1-sampler in O(1) words — included
+both as the historical baseline and to demonstrate *why* negative
+updates break it (tests feed it a deletion and watch the guarantee
+fall apart, motivating the whole paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..space.accounting import SpaceReport, counter_bits
+from .base import SampleResult, StreamingSampler
+
+
+class ReservoirSampler(StreamingSampler):
+    """Perfect L1 sampler for positive update streams; O(1) words."""
+
+    def __init__(self, universe: int, seed: int = 0):
+        self.universe = int(universe)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(np.random.SeedSequence((seed, 0x4E)))
+        self._total = 0.0
+        self._sample: int | None = None
+        self._saw_negative = False
+
+    def update(self, index: int, delta) -> None:
+        delta = float(delta)
+        if delta < 0:
+            # The classical scheme has no answer to deletions; remember
+            # the violation so sample() can be honest about it.
+            self._saw_negative = True
+            self._total += delta
+            return
+        self._total += delta
+        if self._total > 0 and self._rng.random() < delta / self._total:
+            self._sample = int(index)
+
+    def update_many(self, indices, deltas) -> None:
+        for i, u in zip(np.asarray(indices).tolist(),
+                        np.asarray(deltas).tolist()):
+            self.update(int(i), u)
+
+    def sample(self) -> SampleResult:
+        if self._sample is None:
+            return SampleResult.fail("empty-stream")
+        return SampleResult.ok(self._sample,
+                               insertion_only=not self._saw_negative)
+
+    @property
+    def insertion_only(self) -> bool:
+        return not self._saw_negative
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(label="reservoir", counter_count=2,
+                           bits_per_counter=counter_bits(self.universe),
+                           seed_bits=64)
+
+    def space_bits(self) -> int:
+        return self.space_report().total

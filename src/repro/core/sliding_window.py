@@ -1,0 +1,119 @@
+"""Chain sampling over sliding windows (Babcock–Datar–Motwani [3]).
+
+The paper's related-work section situates its samplers against the
+*sliding-window* line: maintain a uniform random sample over the last
+``W`` items of an insertion-only stream, where items expire as the
+window slides.  Plain reservoir sampling breaks — its sample may
+expire with nothing to replace it — and the classical fix is *chain
+sampling*:
+
+* each arriving item (position ``t``) becomes the sample with
+  probability ``1/min(t+1, W)``;
+* when an item at position ``t`` is sampled, pre-select a uniformly
+  random *successor* position in ``(t, t+W]``; when the stream reaches
+  it, that item is chained as the replacement-in-waiting, and gets a
+  successor of its own;
+* when the head of the chain expires, the next link takes over.
+
+The chain has O(1) expected length (and O(log W) whp), so the space is
+O(log W · log n) bits — the regime this paper's turnstile samplers
+deliberately leave behind (they pay log² n but survive deletions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..space.accounting import SpaceReport, counter_bits
+from .base import SampleResult, StreamingSampler
+
+
+class ChainSampler(StreamingSampler):
+    """Uniform sample over the last ``window`` items of an item stream.
+
+    Items are fed with :meth:`append` (this is an *item* sampler, not a
+    turnstile one); :meth:`sample` returns a uniformly random item of
+    the current window.
+    """
+
+    def __init__(self, universe: int, window: int, seed: int = 0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.universe = int(universe)
+        self.window = int(window)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((seed, 0xC4A1)))
+        self._position = 0
+        # The chain: list of (position, item), head = current sample.
+        self._chain: list[tuple[int, int]] = []
+        self._successor: int | None = None
+
+    # -- stream consumption --------------------------------------------------------
+
+    def append(self, item: int) -> None:
+        """Feed the next item of the stream."""
+        t = self._position
+        self._position += 1
+        # Expire the head if it has slid out of the window.
+        while self._chain and self._chain[0][0] <= t - self.window:
+            self._chain.pop(0)
+        if self._chain and self._successor is not None \
+                and t == self._successor:
+            # The pre-selected replacement arrives: extend the chain.
+            self._chain.append((t, int(item)))
+            self._successor = self._pick_successor(t)
+        # New item replaces the whole chain with prob 1/min(t+1, W).
+        denominator = min(t + 1, self.window)
+        if self._rng.random() < 1.0 / denominator:
+            self._chain = [(t, int(item))]
+            self._successor = self._pick_successor(t)
+
+    def _pick_successor(self, t: int) -> int:
+        """A uniform position in (t, t + W] to chain next."""
+        return t + 1 + int(self._rng.integers(self.window))
+
+    def append_many(self, items) -> None:
+        for item in np.asarray(items, dtype=np.int64).tolist():
+            self.append(int(item))
+
+    # -- StreamingSampler adaptation -------------------------------------------------
+
+    def update(self, index: int, delta) -> None:
+        """Insertion-only adapter: delta must be +1 (one occurrence)."""
+        if delta != 1:
+            raise ValueError("chain sampling is insertion-only, "
+                             "unit-weight; use LpSampler for turnstile")
+        self.append(index)
+
+    def update_many(self, indices, deltas) -> None:
+        for i, u in zip(np.asarray(indices).tolist(),
+                        np.asarray(deltas).tolist()):
+            self.update(int(i), u)
+
+    def sample(self) -> SampleResult:
+        # Expire lazily relative to the final position: live items are
+        # the last `window` positions, i.e. t >= position - window.
+        horizon = self._position - self.window
+        chain = [(t, item) for t, item in self._chain if t >= horizon]
+        if not chain:
+            return SampleResult.fail("empty-window-or-expired-chain")
+        position, item = chain[0]
+        return SampleResult.ok(item, position=position,
+                               chain_length=len(chain))
+
+    @property
+    def chain_length(self) -> int:
+        return len(self._chain)
+
+    # -- space -------------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(
+            label=f"chain-sampler(W={self.window})",
+            counter_count=2 * max(1, len(self._chain)) + 2,
+            bits_per_counter=counter_bits(self.universe),
+            seed_bits=64)
+
+    def space_bits(self) -> int:
+        return self.space_report().total

@@ -1,0 +1,21 @@
+"""Hashing substrate: prime fields, limited independence, PRGs.
+
+Everything random in this library flows through the families defined
+here so that (a) independence assumptions of the paper's lemmas are
+explicit in the code, and (b) every structure is reproducible from an
+integer seed.
+"""
+
+from .field import DEFAULT_FIELD, MERSENNE31, MERSENNE61, PrimeField
+from .kwise import (BucketHash, KWiseHash, SignHash, SubsetHash,
+                    UniformScalarHash, derive_rngs)
+from .nisan import NisanPRG, prg_for_universe
+from .prng import CounterRNG, splitmix64
+
+__all__ = [
+    "DEFAULT_FIELD", "MERSENNE31", "MERSENNE61", "PrimeField",
+    "BucketHash", "KWiseHash", "SignHash", "SubsetHash",
+    "UniformScalarHash", "derive_rngs",
+    "NisanPRG", "prg_for_universe",
+    "CounterRNG", "splitmix64",
+]

@@ -1,0 +1,13 @@
+"""Exact sparse recovery (Lemma 5) and 1-sparse detection."""
+
+from .berlekamp_massey import berlekamp_massey, lfsr_length
+from .iblt import IBLTSparseRecovery
+from .one_sparse import OneSparseDetector, OneSparseResult
+from .syndrome import DENSE, RecoveryResult, SyndromeSparseRecovery
+
+__all__ = [
+    "berlekamp_massey", "lfsr_length",
+    "IBLTSparseRecovery",
+    "OneSparseDetector", "OneSparseResult",
+    "DENSE", "RecoveryResult", "SyndromeSparseRecovery",
+]

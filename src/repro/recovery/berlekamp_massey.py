@@ -1,0 +1,68 @@
+"""Berlekamp–Massey over a prime field.
+
+The exact sparse recovery of Lemma 5 is implemented Prony-style: the
+sketch stores power sums (syndromes) ``S_j = sum_i x_i * a_i**j`` of the
+non-zero coordinates, and decoding must find the minimal linear
+recurrence those syndromes satisfy.  Berlekamp–Massey computes exactly
+that: the connection polynomial ``C(X) = 1 + c_1 X + ... + c_L X^L`` of
+the shortest LFSR generating the sequence, whose reciprocal roots are
+the locators ``a_i`` of the support.
+
+Scalars are Python integers (the degree is at most the sparsity bound,
+a small number), so there are no overflow concerns regardless of the
+field modulus.
+"""
+
+from __future__ import annotations
+
+
+def berlekamp_massey(sequence, modulus: int) -> list[int]:
+    """Minimal connection polynomial of ``sequence`` over GF(modulus).
+
+    Returns coefficients ``[1, c_1, ..., c_L]`` (low degree first) such
+    that for every ``j >= L``:
+
+        sequence[j] + c_1 * sequence[j-1] + ... + c_L * sequence[j-L] = 0
+        (mod modulus).
+
+    The LFSR length is ``len(result) - 1``.
+    """
+    p = int(modulus)
+    seq = [int(v) % p for v in sequence]
+    current = [1]        # C(X), the working connection polynomial
+    previous = [1]       # B(X), the last C before a length change
+    length = 0           # current LFSR length L
+    shift = 1            # number of steps since the last length change
+    prev_discrepancy = 1
+
+    for j, s_j in enumerate(seq):
+        # discrepancy d = s_j + sum_{k=1..L} C_k * s_{j-k}
+        d = s_j
+        for k in range(1, length + 1):
+            if k < len(current):
+                d = (d + current[k] * seq[j - k]) % p
+        if d == 0:
+            shift += 1
+            continue
+        coef = d * pow(prev_discrepancy, p - 2, p) % p
+        candidate = current[:]
+        # current -= coef * X^shift * previous
+        needed = shift + len(previous)
+        if needed > len(current):
+            current = current + [0] * (needed - len(current))
+        for k, b_k in enumerate(previous):
+            current[shift + k] = (current[shift + k] - coef * b_k) % p
+        if 2 * length <= j:
+            length = j + 1 - length
+            previous = candidate
+            prev_discrepancy = d
+            shift = 1
+        else:
+            shift += 1
+
+    return [c % p for c in current[: length + 1]]
+
+
+def lfsr_length(sequence, modulus: int) -> int:
+    """Length of the minimal LFSR generating the sequence."""
+    return len(berlekamp_massey(sequence, modulus)) - 1

@@ -1,0 +1,95 @@
+"""Count-min and count-median sketches (Cormode–Muthukrishnan [8]).
+
+Section 4.4 of the paper cites the *count-median* algorithm of [8] as
+the O(phi^-1 log^2 n) upper bound for L1 heavy hitters, against which
+the count-sketch bound O(phi^-p log^2 n) is stated.  We implement both
+variants on one table:
+
+* **count-min** — estimate by the minimum over rows.  In the *strict
+  turnstile* model every bucket over-counts, so the minimum never
+  underestimates:  ``x_i <= est(i) <= x_i + 2 ||x||_1 / buckets`` whp.
+* **count-median** — estimate by the median over rows, which works in
+  the general update model (no sign guarantee) with additive error
+  ``O(||x||_1 / buckets)`` whp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.kwise import BucketHash, derive_rngs
+from ..space.accounting import SpaceReport, counter_bits
+from .linear import LinearSketch
+from .serialize import register
+
+
+@register
+class CountMin(LinearSketch):
+    """A rows-by-buckets counter table with pairwise-independent hashes.
+
+    ``estimate`` uses the count-min rule (strict turnstile);
+    ``estimate_median`` uses the count-median rule (general model).
+    """
+
+    def __init__(self, universe: int, buckets: int, rows: int, seed: int = 0):
+        if buckets < 1 or rows < 1:
+            raise ValueError("buckets and rows must be positive")
+        self.universe = int(universe)
+        self.buckets = int(buckets)
+        self.rows = int(rows)
+        self.seed = int(seed)
+        rngs = derive_rngs(np.random.SeedSequence((self.seed, 0xC1)),
+                           self.rows)
+        self._hashes = [BucketHash(2, self.buckets, rngs[j])
+                        for j in range(self.rows)]
+        self.table = np.zeros((self.rows, self.buckets), dtype=np.int64)
+
+    def _params(self) -> dict:
+        return dict(universe=self.universe, buckets=self.buckets,
+                    rows=self.rows, seed=self.seed)
+
+    def _state_arrays(self) -> list[np.ndarray]:
+        return [self.table]
+
+    def _replace_state(self, arrays) -> None:
+        (self.table,) = arrays
+
+    def _compatible(self, other) -> bool:
+        return (super()._compatible(other) and self.buckets == other.buckets
+                and self.rows == other.rows)
+
+    def update_many(self, indices, deltas) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.int64)
+        for j in range(self.rows):
+            buckets = self._hashes[j](idx).astype(np.int64)
+            np.add.at(self.table[j], buckets, dlt)
+
+    def _row_samples(self, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        samples = np.empty((self.rows, idx.size), dtype=np.int64)
+        for j in range(self.rows):
+            samples[j] = self.table[j, self._hashes[j](idx).astype(np.int64)]
+        return samples
+
+    def estimate(self, index: int) -> int:
+        """Count-min estimate: never below ``x_i`` in strict turnstile."""
+        return int(self._row_samples(np.array([index])).min())
+
+    def estimate_many(self, indices) -> np.ndarray:
+        return self._row_samples(indices).min(axis=0)
+
+    def estimate_median(self, index: int) -> float:
+        """Count-median estimate: valid in the general update model."""
+        return float(np.median(self._row_samples(np.array([index]))))
+
+    def estimate_median_many(self, indices) -> np.ndarray:
+        return np.median(self._row_samples(indices), axis=0)
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(
+            label=f"count-min({self.rows}x{self.buckets})",
+            counter_count=self.rows * self.buckets,
+            bits_per_counter=counter_bits(self.universe),
+            seed_bits=sum(h.space_bits() for h in self._hashes),
+        )

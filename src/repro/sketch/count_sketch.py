@@ -1,0 +1,172 @@
+"""The count-sketch of Charikar, Chen and Farach-Colton [6].
+
+The paper (Section 2) defines it exactly as implemented here: for a
+size parameter ``m`` select, for each of ``l = O(log n)`` rows,
+pairwise-independent hashes ``h_j : [n] -> [6m]`` and signs
+``g_j : [n] -> {-1, +1}``; maintain
+
+    y[k, j] = sum over i with h_j(i) = k of g_j(i) * x_i
+
+and estimate ``x*_i = median_j( g_j(i) * y[h_j(i), j] )``.
+
+Lemma 1 (the guarantee the sampler's analysis leans on):
+
+    |x_i - x*_i| <= Err^m_2(x) / sqrt(m)    for all i, whp,
+
+where ``Err^m_2(x)`` is the L2 distance from ``x`` to the best m-sparse
+approximation — crucially the *tail* norm: heavy coordinates do not
+contribute, which is where the paper saves its log factor over [1].
+
+The sketch accepts real-valued updates because the sampler feeds it the
+scaled vector ``z_i = x_i / t_i^(1/p)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.kwise import BucketHash, SignHash, derive_rngs
+from ..space.accounting import SpaceReport, counter_bits
+from .linear import LinearSketch
+from .serialize import register
+
+
+@register
+class CountSketch(LinearSketch):
+    """Count-sketch with ``rows`` independent (hash, sign) pairs.
+
+    Parameters
+    ----------
+    universe:
+        Dimension ``n`` of the underlying vector.
+    m:
+        The sparsity/size parameter of Lemma 1; each row has ``6 * m``
+        buckets, as in the paper's definition.
+    rows:
+        ``l``; the paper sets ``l = O(log n)``.  See
+        :func:`rows_for_universe` for the conventional choice.
+    seed:
+        Integer seed; sketches with equal (universe, m, rows, seed) share
+        their linear map and can be merged/subtracted.
+    independence:
+        Independence of the hash families (paper: pairwise).
+    """
+
+    def __init__(self, universe: int, m: int, rows: int, seed: int = 0,
+                 independence: int = 2):
+        if m < 1 or rows < 1:
+            raise ValueError("m and rows must be positive")
+        self.universe = int(universe)
+        self.m = int(m)
+        self.buckets = 6 * self.m
+        self.rows = int(rows)
+        self.seed = int(seed)
+        self.independence = int(independence)
+        rngs = derive_rngs(np.random.SeedSequence((self.seed, 0xC5)),
+                           2 * self.rows)
+        self._bucket_hashes = [BucketHash(independence, self.buckets, rngs[2 * j])
+                               for j in range(self.rows)]
+        self._sign_hashes = [SignHash(independence, rngs[2 * j + 1])
+                             for j in range(self.rows)]
+        self.table = np.zeros((self.rows, self.buckets), dtype=np.float64)
+
+    # -- LinearSketch plumbing -------------------------------------------------
+
+    def _params(self) -> dict:
+        return dict(universe=self.universe, m=self.m, rows=self.rows,
+                    seed=self.seed, independence=self.independence)
+
+    def _state_arrays(self) -> list[np.ndarray]:
+        return [self.table]
+
+    def _replace_state(self, arrays) -> None:
+        (self.table,) = arrays
+
+    def _compatible(self, other) -> bool:
+        return (super()._compatible(other) and self.m == other.m
+                and self.rows == other.rows
+                and self.independence == other.independence)
+
+    # -- updates -----------------------------------------------------------------
+
+    def update_many(self, indices, deltas) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.float64)
+        for j in range(self.rows):
+            buckets = self._bucket_hashes[j](idx).astype(np.int64)
+            signed = self._sign_hashes[j](idx) * dlt
+            np.add.at(self.table[j], buckets, signed)
+
+    # -- queries -------------------------------------------------------------------
+
+    def estimate(self, index: int) -> float:
+        """The point estimate ``x*_index``."""
+        return float(self.estimate_many(np.array([index]))[0])
+
+    def estimate_many(self, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        samples = np.empty((self.rows, idx.size), dtype=np.float64)
+        for j in range(self.rows):
+            buckets = self._bucket_hashes[j](idx).astype(np.int64)
+            samples[j] = self._sign_hashes[j](idx) * self.table[j, buckets]
+        return np.median(samples, axis=0)
+
+    def estimate_all(self) -> np.ndarray:
+        """``x*`` for the whole universe (vectorised; recovery-time only).
+
+        The streaming *space* story is unaffected: this is a query-time
+        computation over public hash functions, exactly the ``find i
+        with |z*_i| maximal`` step of Figure 1's recovery stage.
+        """
+        return self.estimate_many(np.arange(self.universe, dtype=np.int64))
+
+    def best_sparse_approximation(self, sparsity: int | None = None
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and values of the best m-sparse approximation of ``x*``.
+
+        This is the vector ``zhat`` of Figure 1's recovery step 1: keep
+        the ``m`` coordinates of largest magnitude, zero elsewhere.
+        """
+        k = self.m if sparsity is None else int(sparsity)
+        estimates = self.estimate_all()
+        if k >= self.universe:
+            order = np.argsort(-np.abs(estimates))
+        else:
+            top = np.argpartition(-np.abs(estimates), k)[:k]
+            order = top[np.argsort(-np.abs(estimates[top]))]
+        return order.astype(np.int64), estimates[order]
+
+    def heaviest_index(self) -> tuple[int, float]:
+        """Figure 1 recovery step 4: argmax of |z*| and its estimate."""
+        estimates = self.estimate_all()
+        i = int(np.argmax(np.abs(estimates)))
+        return i, float(estimates[i])
+
+    # -- space ------------------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        report = SpaceReport(
+            label=f"count-sketch(m={self.m}, rows={self.rows})",
+            counter_count=self.rows * self.buckets,
+            bits_per_counter=counter_bits(self.universe),
+            seed_bits=sum(h.space_bits() for h in self._bucket_hashes)
+            + sum(g.space_bits() for g in self._sign_hashes),
+        )
+        return report
+
+
+def rows_for_universe(universe: int, c: float = 2.0) -> int:
+    """The conventional ``l = O(log n)`` row count giving n^-c failure."""
+    return max(3, int(np.ceil(c * np.log2(max(2, universe)))) | 1)
+
+
+def err_m2(vector, m: int) -> float:
+    """``Err^m_2(x)``: the L2 norm of ``x`` minus its best m-sparse part.
+
+    Ground-truth helper used by tests and the Lemma 1 benchmark.
+    """
+    vec = np.asarray(vector, dtype=np.float64)
+    if m >= vec.size:
+        return 0.0
+    mags = np.sort(np.abs(vec))[::-1]
+    return float(np.sqrt((mags[m:] ** 2).sum()))

@@ -1,0 +1,91 @@
+"""Byte-level serialization for linear sketches.
+
+The Section 4 protocols "send the memory contents over" — this module
+makes that literal: any :class:`~repro.sketch.linear.LinearSketch`
+subclass that declares its constructor parameters via ``_params()``
+gets ``to_bytes`` / ``from_bytes`` for free.  The wire format is a
+JSON header (class name + parameters) followed by the raw counter
+arrays, so two honest parties sharing the seed reconstruct the *same*
+linear map and can keep updating the shipped sketch — exactly the
+property the one-way protocols rely on.
+
+The encoded size is the physical message; the paper-model message size
+(O(log n)-bit counters) remains ``space_bits()``.  Benchmarks report
+both.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+#: Registry of serializable sketch classes, filled by register().
+_REGISTRY: dict[str, type] = {}
+
+_MAGIC = b"RPRO1"
+
+
+def register(cls):
+    """Class decorator: make a LinearSketch subclass wire-serializable.
+
+    The class must implement ``_params() -> dict`` returning exactly the
+    keyword arguments that reconstruct an empty twin (same linear map).
+    """
+    if not hasattr(cls, "_params"):
+        raise TypeError(f"{cls.__name__} must define _params()")
+    _REGISTRY[cls.__name__] = cls
+    cls.to_bytes = to_bytes
+    cls.from_bytes = classmethod(_from_bytes_cls)
+    return cls
+
+
+def to_bytes(self) -> bytes:
+    """Encode header (class + params) and the counter arrays."""
+    header = json.dumps({
+        "class": type(self).__name__,
+        "params": self._params(),
+    }).encode("utf-8")
+    buffer = io.BytesIO()
+    arrays = {f"a{i}": arr for i, arr in enumerate(self._state_arrays())}
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    return (_MAGIC + len(header).to_bytes(4, "big") + header + payload)
+
+
+def from_bytes(data: bytes):
+    """Reconstruct a sketch encoded by :func:`to_bytes`."""
+    if data[:5] != _MAGIC:
+        raise ValueError("not a serialized sketch")
+    header_len = int.from_bytes(data[5:9], "big")
+    header = json.loads(data[9:9 + header_len].decode("utf-8"))
+    cls = _REGISTRY.get(header["class"])
+    if cls is None:
+        raise ValueError(f"unknown sketch class {header['class']!r}")
+    instance = cls(**header["params"])
+    buffer = io.BytesIO(data[9 + header_len:])
+    with np.load(buffer) as arrays:
+        state = [arrays[f"a{i}"] for i in range(len(arrays.files))]
+    expected = instance._state_arrays()
+    if len(state) != len(expected):
+        raise ValueError("state array count mismatch")
+    for mine, loaded in zip(expected, state):
+        if mine.shape != loaded.shape:
+            raise ValueError("state array shape mismatch")
+    instance._replace_state([arr.astype(ref.dtype)
+                             for arr, ref in zip(state, expected)])
+    return instance
+
+
+def _from_bytes_cls(cls, data: bytes):
+    instance = from_bytes(data)
+    if not isinstance(instance, cls):
+        raise ValueError(f"payload is a {type(instance).__name__}, "
+                         f"not a {cls.__name__}")
+    return instance
+
+
+def wire_bits(sketch) -> int:
+    """The physical message size of a sketch, in bits."""
+    return 8 * len(sketch.to_bytes())

@@ -1,0 +1,5 @@
+"""Space accounting in the paper's bit-counting model."""
+
+from .accounting import SpaceReport, bits_of, counter_bits
+
+__all__ = ["SpaceReport", "bits_of", "counter_bits"]

@@ -1,0 +1,86 @@
+"""Bit-level space accounting for streaming structures.
+
+The paper's model (Section 1, "Notation") charges a streaming algorithm
+for (a) the linear-sketch counters — ``m`` integer counters of O(log n)
+bits each — and (b) the random seed bits, since the standard model
+counts randomness as space (the lower bounds allow a free random oracle,
+which only makes them stronger).
+
+Every structure in this library implements ``space_bits()``.  This
+module centralises the conventions so the E3/E4/E5 scaling benchmarks
+("our log^2 n vs their log^3 n") measure all structures with the same
+yardstick:
+
+* a counter holding values bounded by ``B`` costs ``ceil(log2(2B + 1))``
+  bits (sign included) — by default counters are charged
+  ``counter_bits(n)`` = O(log n) bits as the discretization remark
+  prescribes, not the 64 bits numpy happens to allocate;
+* seeds are charged at their true entropy (hash coefficients: field
+  elements; CounterRNG: 64 bits; Nisan PRG: its seed length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def counter_bits(universe: int, magnitude: int | None = None) -> int:
+    """Bits for one signed counter in the paper's model.
+
+    Coordinates stay bounded by ``M = poly(n)``; we use ``M = n**2``
+    unless the caller knows a tighter ``magnitude`` bound.
+    """
+    bound = magnitude if magnitude is not None else max(4, int(universe))**2
+    return int(np.ceil(np.log2(2.0 * float(bound) + 1.0)))
+
+
+@dataclass
+class SpaceReport:
+    """Itemised space usage of a structure (all values in bits)."""
+
+    label: str
+    counter_count: int = 0
+    bits_per_counter: int = 0
+    seed_bits: int = 0
+    children: list["SpaceReport"] = field(default_factory=list)
+
+    @property
+    def counter_total(self) -> int:
+        own = self.counter_count * self.bits_per_counter
+        return own + sum(c.counter_total for c in self.children)
+
+    @property
+    def seed_total(self) -> int:
+        return self.seed_bits + sum(c.seed_total for c in self.children)
+
+    @property
+    def total(self) -> int:
+        return self.counter_total + self.seed_total
+
+    def add(self, child: "SpaceReport") -> "SpaceReport":
+        self.children.append(child)
+        return self
+
+    def flat_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.label}: {self.total} bits "
+            f"({self.counter_count}x{self.bits_per_counter} counters"
+            f" + {self.seed_bits} seed)"
+        ]
+        for child in self.children:
+            lines.extend(child.flat_lines(indent + 1))
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.flat_lines())
+
+
+def bits_of(structure) -> int:
+    """Total space of anything exposing ``space_bits`` or ``space_report``."""
+    report = getattr(structure, "space_report", None)
+    if report is not None:
+        return report().total
+    return int(structure.space_bits())

@@ -1,0 +1,17 @@
+"""Turnstile stream model and workload generators."""
+
+from .generators import (DuplicateInstance, HeavyHitterInstance,
+                         duplicate_stream, heavy_hitter_instance, long_stream,
+                         planted_duplicate_stream, pm1_vector, short_stream,
+                         signed_zipf_vector, sparse_vector,
+                         uniform_signed_vector, vector_to_stream, zipf_vector)
+from .model import Update, UpdateStream, items_to_updates
+
+__all__ = [
+    "Update", "UpdateStream", "items_to_updates",
+    "DuplicateInstance", "HeavyHitterInstance",
+    "duplicate_stream", "heavy_hitter_instance", "long_stream",
+    "planted_duplicate_stream", "pm1_vector", "short_stream",
+    "signed_zipf_vector", "sparse_vector", "uniform_signed_vector",
+    "vector_to_stream", "zipf_vector",
+]

@@ -1,0 +1,105 @@
+"""Adversarial workloads for stress-testing the streaming structures.
+
+The paper's guarantees are worst-case over *inputs* (the randomness is
+the algorithm's own), so a reproduction should attack the structures
+with the inputs a worst-case adversary would pick:
+
+* **cancellation storms** — giant intermediate coordinates that vanish
+  by the end of the stream (breaking anything that decides early);
+* **heavy-tail decoys** — mass arranged so the L2 norm is dominated by
+  coordinates *outside* the count-sketch's best-m set, maximising
+  ``Err^m_2(x)`` relative to ``||x||_p`` (the quantity Lemma 3 fights);
+* **threshold straddlers** — heavy-hitter instances sitting just above
+  and just below ``phi ||x||_p`` (probing the validity margin);
+* **near-uniform duplicates** — streams whose duplicate mass is the
+  pigeonhole minimum (one extra occurrence), already available as
+  ``planted_duplicate_stream``.
+
+These are oblivious adversaries (fixed before the algorithm's coins),
+matching the model of the paper's guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import UpdateStream
+
+
+def cancellation_storm(universe: int, storms: int = 10,
+                       magnitude: int = 10**6, survivors: int = 3,
+                       seed=0) -> UpdateStream:
+    """A stream whose intermediate state dwarfs its final state.
+
+    ``storms`` random coordinates receive +-magnitude swings that fully
+    cancel; only ``survivors`` small coordinates remain at the end.
+    Any structure that peeks mid-stream (or suffers precision loss on
+    large intermediates) gets caught by the tests using this.
+    """
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(universe, size=storms + survivors, replace=False)
+    indices: list[int] = []
+    deltas: list[int] = []
+    for coordinate in chosen[:storms]:
+        indices.extend([int(coordinate)] * 2)
+        deltas.extend([magnitude, -magnitude])
+    for coordinate in chosen[storms:]:
+        indices.append(int(coordinate))
+        deltas.append(int(rng.integers(1, 10)))
+    order = rng.permutation(len(indices))
+    return UpdateStream(universe,
+                        np.array(indices, dtype=np.int64)[order],
+                        np.array(deltas, dtype=np.int64)[order])
+
+
+def heavy_tail_decoy(universe: int, m: int, seed=0) -> np.ndarray:
+    """A vector maximising the count-sketch tail relative to its head.
+
+    ``m + 1`` equal heavy coordinates (so the best m-sparse
+    approximation must drop one of them) above a flat plateau of
+    just-below-heavy values: the worst input for any analysis that
+    charges the full L2 norm, and the regime where the paper's
+    Err^m_2-based Lemma 1/3 bookkeeping matters.
+    """
+    rng = np.random.default_rng(seed)
+    vec = np.zeros(universe, dtype=np.int64)
+    heavy = rng.choice(universe, size=m + 1, replace=False)
+    vec[heavy] = 1000
+    rest = np.setdiff1d(np.arange(universe), heavy)
+    plateau = rng.choice(rest, size=min(rest.size, universe // 2),
+                         replace=False)
+    vec[plateau] = 30
+    return vec
+
+
+def threshold_straddler(universe: int, p: float, phi: float,
+                        margin: float = 0.05, seed=0) -> np.ndarray:
+    """A heavy-hitter instance with coordinates hugging the threshold.
+
+    One coordinate at ``(1 + margin) * phi * ||x||_p`` (must be
+    reported) and one at ``(0.5 - margin) * phi * ||x||_p`` (must not
+    be), solved by fixed-point iteration over the norm.
+    """
+    rng = np.random.default_rng(seed)
+    vec = rng.integers(1, 4, size=universe).astype(np.int64)
+    above = int(rng.integers(universe))
+    below = (above + 1) % universe
+    for _ in range(60):
+        norm = float((np.abs(vec).astype(np.float64)**p).sum()
+                     ** (1.0 / p))
+        vec[above] = max(1, int(np.ceil((1.0 + margin) * phi * norm)))
+        vec[below] = max(1, int(np.floor((0.5 - margin) * phi * norm)))
+    return vec
+
+
+def alternating_sign_wave(universe: int, length: int, seed=0
+                          ) -> UpdateStream:
+    """Updates alternating +1/-1 over random coordinates.
+
+    The final vector is +-1/0-valued — Theorem 8's hard regime — but
+    the stream order maximises sign churn inside every sketch bucket.
+    """
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, universe, size=length).astype(np.int64)
+    deltas = np.where(np.arange(length) % 2 == 0, 1, -1).astype(np.int64)
+    return UpdateStream(universe, indices, deltas)

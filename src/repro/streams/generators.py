@@ -1,0 +1,259 @@
+"""Workload generators for experiments, tests and benchmarks.
+
+The paper's analysis is worst-case, but its motivating workloads are
+concrete: click streams with duplicates (Section 3, [21]), vectors with
+heavy coordinates (Section 4.4), +-1 vectors (Theorem 8), and general
+turnstile traffic with deletions.  Each generator returns an
+:class:`~repro.streams.model.UpdateStream` plus, where useful, the
+ground-truth object (the planted duplicate, the heavy set, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import UpdateStream, items_to_updates
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def zipf_vector(universe: int, alpha: float = 1.2, scale: int = 1000,
+                seed=0) -> np.ndarray:
+    """A non-negative integer vector with Zipf-decaying magnitudes.
+
+    Coordinate ranks are randomly permuted so heavy entries are spread
+    over the universe.  ``scale`` sets the largest coordinate.
+    """
+    rng = _rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = scale / ranks**alpha
+    vec = np.maximum(0, np.round(weights)).astype(np.int64)
+    rng.shuffle(vec)
+    return vec
+
+
+def signed_zipf_vector(universe: int, alpha: float = 1.2, scale: int = 1000,
+                       seed=0) -> np.ndarray:
+    """Zipf magnitudes with uniformly random signs (general model)."""
+    rng = _rng(seed)
+    vec = zipf_vector(universe, alpha, scale, rng)
+    signs = rng.choice(np.array([-1, 1], dtype=np.int64), size=universe)
+    return vec * signs
+
+
+def uniform_signed_vector(universe: int, low: int = -100, high: int = 100,
+                          seed=0) -> np.ndarray:
+    """Independent uniform integer coordinates in [low, high]."""
+    rng = _rng(seed)
+    return rng.integers(low, high + 1, size=universe, dtype=np.int64)
+
+
+def pm1_vector(universe: int, zero_fraction: float = 0.5,
+               seed=0) -> np.ndarray:
+    """A vector with coordinates in {-1, 0, +1} (Theorem 8 instances)."""
+    rng = _rng(seed)
+    vec = rng.choice(np.array([-1, 1], dtype=np.int64), size=universe)
+    mask = rng.random(universe) < zero_fraction
+    vec[mask] = 0
+    return vec
+
+
+def sparse_vector(universe: int, support: int, magnitude: int = 50,
+                  seed=0, signed: bool = True) -> np.ndarray:
+    """A vector with exactly ``support`` non-zero coordinates."""
+    if support > universe:
+        raise ValueError("support cannot exceed the universe")
+    rng = _rng(seed)
+    vec = np.zeros(universe, dtype=np.int64)
+    positions = rng.choice(universe, size=support, replace=False)
+    values = rng.integers(1, magnitude + 1, size=support, dtype=np.int64)
+    if signed:
+        values *= rng.choice(np.array([-1, 1], dtype=np.int64), size=support)
+    vec[positions] = values
+    return vec
+
+
+def vector_to_stream(vector, seed=0, shuffle: bool = True,
+                     split: int = 3) -> UpdateStream:
+    """Turn a dense vector into a turnstile stream with interleaved deltas.
+
+    Each coordinate's mass is split into up to ``split`` random signed
+    pieces that sum to the target value, then the pieces are shuffled —
+    this exercises the fully general update model (insertions mixed with
+    deletions, coordinates temporarily overshooting their final value).
+    """
+    rng = _rng(seed)
+    vec = np.asarray(vector, dtype=np.int64)
+    indices: list[int] = []
+    deltas: list[int] = []
+    for i in np.flatnonzero(vec):
+        remaining = int(vec[i])
+        pieces = int(rng.integers(1, split + 1))
+        for _ in range(pieces - 1):
+            jitter = int(rng.integers(-abs(remaining) - 1, abs(remaining) + 2))
+            indices.append(int(i))
+            deltas.append(jitter)
+            remaining -= jitter
+        indices.append(int(i))
+        deltas.append(remaining)
+    order = rng.permutation(len(indices)) if shuffle else np.arange(len(indices))
+    idx = np.array(indices, dtype=np.int64)[order]
+    dlt = np.array(deltas, dtype=np.int64)[order]
+    return UpdateStream(vec.size, idx, dlt)
+
+
+# -- duplicate-finding workloads (Section 3) ---------------------------------
+
+
+@dataclass
+class DuplicateInstance:
+    """A stream of items over [0, n) plus its ground truth."""
+
+    universe: int
+    items: np.ndarray
+    duplicates: np.ndarray  # letters occurring at least twice
+
+    def update_stream(self) -> UpdateStream:
+        return items_to_updates(self.items, self.universe)
+
+
+def duplicate_stream(universe: int, length: int | None = None,
+                     seed=0) -> DuplicateInstance:
+    """A random item stream of given length (default n+1) over [0, n).
+
+    With ``length = n + 1`` a duplicate always exists by pigeonhole —
+    the Theorem 3 setting.
+    """
+    rng = _rng(seed)
+    n = int(universe)
+    length = n + 1 if length is None else int(length)
+    items = rng.integers(0, n, size=length, dtype=np.int64)
+    values, counts = np.unique(items, return_counts=True)
+    return DuplicateInstance(n, items, values[counts >= 2])
+
+
+def planted_duplicate_stream(universe: int, copies: int = 2,
+                             seed=0) -> DuplicateInstance:
+    """Worst case for samplers: n+1 items, exactly one duplicated letter.
+
+    The stream contains every letter except ``copies - 1`` random
+    omitted ones, plus ``copies`` occurrences of one planted letter —
+    a single positive coordinate hiding among n-ish zeros, which is the
+    hardest L1-sampling instance of the Theorem 3 reduction.
+    """
+    rng = _rng(seed)
+    n = int(universe)
+    if not 2 <= copies <= n:
+        raise ValueError("copies must be between 2 and the universe size")
+    perm = rng.permutation(n)
+    planted = int(perm[0])
+    # n + 1 items with one letter `copies` times => omit copies - 2 letters.
+    omitted = perm[1: copies - 1]
+    keep = np.setdiff1d(np.arange(n, dtype=np.int64), omitted,
+                        assume_unique=False)
+    items = np.concatenate([keep,
+                            np.full(copies - 1, planted, dtype=np.int64)])
+    rng.shuffle(items)
+    return DuplicateInstance(n, items, np.array([planted], dtype=np.int64))
+
+
+def short_stream(universe: int, missing: int, with_duplicate: bool,
+                 seed=0) -> DuplicateInstance:
+    """A stream of length ``n - missing`` (the Theorem 4 regime).
+
+    When ``with_duplicate`` is false, items are distinct (so the correct
+    answer is NO-DUPLICATE); otherwise one letter is duplicated and
+    correspondingly more letters are left out.
+    """
+    rng = _rng(seed)
+    n = int(universe)
+    length = n - int(missing)
+    if length < 1:
+        raise ValueError("stream length must be positive")
+    perm = rng.permutation(n).astype(np.int64)
+    if with_duplicate:
+        if length < 2:
+            raise ValueError("need length >= 2 to plant a duplicate")
+        base = perm[: length - 1]
+        dup = int(base[rng.integers(0, base.size)])
+        items = np.concatenate([base, np.array([dup], dtype=np.int64)])
+        duplicates = np.array([dup], dtype=np.int64)
+    else:
+        items = perm[:length]
+        duplicates = np.array([], dtype=np.int64)
+    rng.shuffle(items)
+    return DuplicateInstance(n, items, duplicates)
+
+
+def long_stream(universe: int, extra: int, seed=0) -> DuplicateInstance:
+    """A stream of length ``n + extra`` (the Section 3 closing regime)."""
+    rng = _rng(seed)
+    n = int(universe)
+    items = rng.integers(0, n, size=n + int(extra), dtype=np.int64)
+    values, counts = np.unique(items, return_counts=True)
+    return DuplicateInstance(n, items, values[counts >= 2])
+
+
+# -- heavy-hitter workloads (Section 4.4) -------------------------------------
+
+
+@dataclass
+class HeavyHitterInstance:
+    """A vector with a planted heavy set under the Lp norm."""
+
+    vector: np.ndarray
+    p: float
+    phi: float
+
+    @property
+    def norm(self) -> float:
+        absx = np.abs(self.vector).astype(np.float64)
+        return float((absx**self.p).sum() ** (1.0 / self.p))
+
+    def required(self) -> np.ndarray:
+        """Indices that MUST be reported: |x_i| >= phi * ||x||_p."""
+        return np.flatnonzero(np.abs(self.vector) >= self.phi * self.norm)
+
+    def forbidden(self) -> np.ndarray:
+        """Indices that must NOT be reported: |x_i| <= (phi/2) * ||x||_p."""
+        return np.flatnonzero(
+            np.abs(self.vector) <= 0.5 * self.phi * self.norm)
+
+
+def heavy_hitter_instance(universe: int, p: float, phi: float,
+                          heavy_count: int = 3, noise_scale: int = 5,
+                          margin: float = 1.5,
+                          seed=0) -> HeavyHitterInstance:
+    """Plant up to ``heavy_count`` coordinates above the phi threshold.
+
+    A coordinate with ``|x_i| >= phi ||x||_p`` contributes ``phi^p`` of
+    the p-th power mass, so at most ``floor(phi^-p)`` coordinates can be
+    phi-heavy simultaneously; the requested count is clamped to what is
+    feasible with the safety ``margin``.  Solving
+    ``v^p = margin * phi^p * (noise + h v^p)`` in closed form sizes the
+    planted value so it exceeds the threshold by ``margin^(1/p)``.
+    """
+    rng = _rng(seed)
+    vec = rng.integers(0, noise_scale + 1, size=universe).astype(np.int64)
+    noise_mass = float((vec.astype(np.float64)**p).sum())
+    share = margin * phi**p           # power-mass share per heavy coord
+    feasible = int(np.floor(0.95 / share))
+    count = max(1, min(int(heavy_count), feasible))
+    if count * share >= 1.0:
+        raise ValueError(
+            f"phi={phi} too large for even one {margin}x-heavy "
+            f"coordinate at p={p}")
+    v_pow = share * noise_mass / (1.0 - count * share)
+    heavy_value = int(np.ceil(v_pow ** (1.0 / p))) + 1
+    if heavy_value > 2**40:
+        raise ValueError("instance requires unreasonably large values; "
+                         "lower noise_scale or raise phi")
+    positions = rng.choice(universe, size=count, replace=False)
+    vec[positions] = heavy_value
+    return HeavyHitterInstance(vec, p, phi)

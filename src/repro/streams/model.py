@@ -1,0 +1,156 @@
+"""The turnstile update-stream model (paper Section 1, "Notation").
+
+An update stream is a sequence of tuples ``(i, u)`` with ``i in [n]``
+(0-based here) and integer ``u``; the stream implicitly defines the
+vector ``x`` with ``x_i = sum of updates to i``.  In the *strict
+turnstile* model the final vector is guaranteed non-negative; in the
+*general* model no such guarantee exists.
+
+This module provides:
+
+* :class:`Update` — a named tuple for a single update;
+* :class:`UpdateStream` — a materialised stream with helpers to apply
+  itself to any sketch-like object (anything with ``update(i, delta)``),
+  to compute the exact final vector, and to validate strict-turnstile
+  promises;
+* :func:`items_to_updates` — the Theorem 3 encoding of an item stream
+  over alphabet [n] into a turnstile vector (start at -1 everywhere,
+  +1 per occurrence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+
+class Update(NamedTuple):
+    """One turnstile update: add ``delta`` to coordinate ``index``."""
+
+    index: int
+    delta: int
+
+
+@dataclass
+class UpdateStream:
+    """A finite stream of updates over the universe ``[0, n)``.
+
+    The class keeps the updates as parallel numpy arrays so applying a
+    long stream to a vectorised sketch is cheap, while still iterating
+    as ``Update`` tuples for code that wants the one-at-a-time view.
+    """
+
+    universe: int
+    indices: np.ndarray
+    deltas: np.ndarray
+
+    def __post_init__(self):
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.deltas = np.asarray(self.deltas, dtype=np.int64)
+        if self.indices.shape != self.deltas.shape:
+            raise ValueError("indices and deltas must have equal length")
+        if self.indices.size and (self.indices.min() < 0
+                                  or self.indices.max() >= self.universe):
+            raise ValueError("update index outside the universe")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, universe: int,
+                   pairs: Iterable[tuple[int, int]]) -> "UpdateStream":
+        pairs = list(pairs)
+        if pairs:
+            idx, dlt = zip(*pairs)
+        else:
+            idx, dlt = (), ()
+        return cls(universe, np.array(idx, dtype=np.int64),
+                   np.array(dlt, dtype=np.int64))
+
+    @classmethod
+    def from_vector(cls, vector) -> "UpdateStream":
+        """One update per non-zero coordinate of a dense vector."""
+        vec = np.asarray(vector, dtype=np.int64)
+        nz = np.flatnonzero(vec)
+        return cls(vec.size, nz, vec[nz])
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def __iter__(self) -> Iterator[Update]:
+        for i, u in zip(self.indices.tolist(), self.deltas.tolist()):
+            yield Update(i, u)
+
+    def final_vector(self) -> np.ndarray:
+        """The exact vector the stream defines (ground truth for tests)."""
+        vec = np.zeros(self.universe, dtype=np.int64)
+        np.add.at(vec, self.indices, self.deltas)
+        return vec
+
+    def is_strict_turnstile(self) -> bool:
+        """True when the *final* vector is entrywise non-negative."""
+        return bool(np.all(self.final_vector() >= 0))
+
+    def max_coordinate_magnitude(self) -> int:
+        """Largest |x_i| over the stream suffix-final vector.
+
+        The paper's model bounds coordinates by ``M = poly(n)``; tests
+        assert workloads respect the bound of the field embedding.
+        """
+        vec = self.final_vector()
+        return int(np.abs(vec).max(initial=0))
+
+    # -- algebra ---------------------------------------------------------------
+
+    def concat(self, other: "UpdateStream") -> "UpdateStream":
+        if other.universe != self.universe:
+            raise ValueError("streams over different universes")
+        return UpdateStream(
+            self.universe,
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.deltas, other.deltas]),
+        )
+
+    def negated(self) -> "UpdateStream":
+        return UpdateStream(self.universe, self.indices.copy(), -self.deltas)
+
+    # -- application -----------------------------------------------------------
+
+    def apply_to(self, *sketches) -> None:
+        """Feed every update, in order, to each sketch.
+
+        Sketches expose ``update(i, delta)``; those that also expose the
+        vectorised ``update_many(indices, deltas)`` get the fast path.
+        """
+        for sketch in sketches:
+            bulk = getattr(sketch, "update_many", None)
+            if bulk is not None:
+                bulk(self.indices, self.deltas)
+            else:
+                for i, u in zip(self.indices.tolist(), self.deltas.tolist()):
+                    sketch.update(i, u)
+
+
+def items_to_updates(items, universe: int,
+                     include_baseline: bool = True) -> UpdateStream:
+    """Encode an item stream over the alphabet [0, n) as turnstile updates.
+
+    This is the reduction in the proof of Theorem 3: first subtract one
+    from every coordinate (the *baseline*), then add one per occurrence.
+    Afterwards ``x_i = occurrences(i) - 1``: positive for duplicates,
+    zero for singletons, -1 for absent letters.
+    """
+    items = np.asarray(items, dtype=np.int64)
+    if items.size and (items.min() < 0 or items.max() >= universe):
+        raise ValueError("item outside the alphabet")
+    if include_baseline:
+        idx = np.concatenate([np.arange(universe, dtype=np.int64), items])
+        dlt = np.concatenate([np.full(universe, -1, dtype=np.int64),
+                              np.ones(items.size, dtype=np.int64)])
+    else:
+        idx = items
+        dlt = np.ones(items.size, dtype=np.int64)
+    return UpdateStream(universe, idx, dlt)

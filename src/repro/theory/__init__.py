@@ -1,0 +1,22 @@
+"""Closed-form statements of the paper's bounds, for experiments."""
+
+from .bounds import (ako_sampler_bits, constant_factor, fis_l0_bits,
+                     gr_duplicates_bits, heavy_hitters_bits,
+                     lemma6_augmented_indexing_floor, long_duplicates_bits,
+                     long_duplicates_floor, proposition5_ur_bits,
+                     theorem1_sampler_bits, theorem2_l0_bits,
+                     theorem3_duplicates_bits,
+                     theorem4_short_duplicates_bits, theorem6_ur_floor,
+                     theorem7_duplicates_floor, theorem8_sampling_floor,
+                     theorem9_hh_floor)
+
+__all__ = [
+    "ako_sampler_bits", "constant_factor", "fis_l0_bits",
+    "gr_duplicates_bits", "heavy_hitters_bits",
+    "lemma6_augmented_indexing_floor", "long_duplicates_bits",
+    "long_duplicates_floor", "proposition5_ur_bits",
+    "theorem1_sampler_bits", "theorem2_l0_bits", "theorem3_duplicates_bits",
+    "theorem4_short_duplicates_bits", "theorem6_ur_floor",
+    "theorem7_duplicates_floor", "theorem8_sampling_floor",
+    "theorem9_hh_floor",
+]

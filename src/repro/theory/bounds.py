@@ -1,0 +1,132 @@
+"""Closed-form space bounds for every theorem in the paper.
+
+Each function returns the *formula* side of a theorem — upper bounds as
+stated, lower bounds as the Omega(...) floor without the hidden
+constant — so experiments and tests can place measured structure sizes
+against the claims.  The constant-factor ratios measured in the E3/E4/
+E5 benchmarks are recorded in EXPERIMENTS.md.
+
+Conventions: logarithms are base 2; all outputs are in bits; the
+``delta``/``eps`` arguments mirror the theorem statements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _log2(value) -> float:
+    return float(np.log2(max(2.0, float(value))))
+
+
+# -- upper bounds -------------------------------------------------------------
+
+
+def theorem1_sampler_bits(n: int, p: float, eps: float,
+                          delta: float = 0.5) -> float:
+    """Theorem 1: O_p(eps^-max(1,p) log^2 n log(1/delta)) for p != 1,
+    O(eps^-1 log(1/eps) log^2 n log(1/delta)) at p = 1."""
+    if not 0.0 < p < 2.0:
+        raise ValueError("Theorem 1 covers p in (0, 2)")
+    log_n = _log2(n)
+    log_delta = max(1.0, np.log2(1.0 / delta))
+    if abs(p - 1.0) < 1e-9:
+        return (1.0 / eps) * max(1.0, np.log2(1.0 / eps)) \
+            * log_n**2 * log_delta
+    return eps ** (-max(1.0, p)) * log_n**2 * log_delta
+
+
+def theorem2_l0_bits(n: int, delta: float = 0.5) -> float:
+    """Theorem 2: O(log^2 n log(1/delta))."""
+    return _log2(n) ** 2 * max(1.0, np.log2(1.0 / delta))
+
+
+def theorem3_duplicates_bits(n: int, delta: float = 0.5) -> float:
+    """Theorem 3: O(log^2 n log(1/delta))."""
+    return _log2(n) ** 2 * max(1.0, np.log2(1.0 / delta))
+
+
+def theorem4_short_duplicates_bits(n: int, s: int,
+                                   delta: float = 0.5) -> float:
+    """Theorem 4: O(s log n + log^2 n log(1/delta))."""
+    return s * _log2(n) + theorem3_duplicates_bits(n, delta)
+
+
+def long_duplicates_bits(n: int, s: int) -> float:
+    """Section 3 closing: O(min{log^2 n, (n/s) log n})."""
+    return min(_log2(n) ** 2, (n / max(1, s)) * _log2(n))
+
+
+def heavy_hitters_bits(n: int, p: float, phi: float) -> float:
+    """Section 4.4 upper bound: O(phi^-p log^2 n)."""
+    if not 0.0 < p <= 2.0:
+        raise ValueError("the count-sketch bound covers p in (0, 2]")
+    return phi ** (-p) * _log2(n) ** 2
+
+
+def proposition5_ur_bits(n: int, rounds: int, delta: float = 0.5) -> float:
+    """Proposition 5: O(log^2 n log 1/delta) one-way,
+    O(log n log 1/delta) with two rounds."""
+    if rounds not in (1, 2):
+        raise ValueError("the proposition covers 1 or 2 rounds")
+    log_delta = max(1.0, np.log2(1.0 / delta))
+    return _log2(n) ** (3 - rounds) * log_delta
+
+
+# -- lower bounds (the Omega floors) ------------------------------------------
+
+
+def theorem6_ur_floor(n: int) -> float:
+    """Theorem 6: R1(UR^n) = Omega(log^2 n)."""
+    return _log2(n) ** 2
+
+
+def theorem7_duplicates_floor(n: int) -> float:
+    """Theorem 7: one-pass duplicates needs Omega(log^2 n)."""
+    return _log2(n) ** 2
+
+
+def theorem8_sampling_floor(n: int) -> float:
+    """Theorem 8: any near-Lp sampler needs Omega(log^2 n)."""
+    return _log2(n) ** 2
+
+
+def theorem9_hh_floor(n: int, p: float, phi: float) -> float:
+    """Theorem 9: heavy hitters need Omega(phi^-p log^2 n)."""
+    return phi ** (-p) * _log2(n) ** 2
+
+
+def long_duplicates_floor(n: int, s: int) -> float:
+    """Section 3 closing: Omega(log^2(n/s) + log n)."""
+    return _log2(n / max(1, s)) ** 2 + _log2(n)
+
+
+def lemma6_augmented_indexing_floor(m: int, k: int,
+                                    delta: float) -> float:
+    """Lemma 6: Omega((1 - delta) m log k) one-way bits."""
+    return max(0.0, (1.0 - delta)) * m * _log2(k)
+
+
+# -- prior-art shapes (what the paper improves) --------------------------------
+
+
+def ako_sampler_bits(n: int, p: float, eps: float) -> float:
+    """Andoni–Krauthgamer–Onak [1]: O(eps^-p log^3 n)."""
+    return eps ** (-p) * _log2(n) ** 3
+
+
+def fis_l0_bits(n: int) -> float:
+    """Frahling–Indyk–Sohler [12]: O(log^3 n)."""
+    return _log2(n) ** 3
+
+
+def gr_duplicates_bits(n: int, s: int = 0) -> float:
+    """Gopalan–Radhakrishnan [14]: O((s + 1) log^3 n)."""
+    return (s + 1) * _log2(n) ** 3
+
+
+def constant_factor(measured_bits: float, formula_bits: float) -> float:
+    """The hidden constant a measurement implies for a formula."""
+    if formula_bits <= 0:
+        raise ValueError("formula value must be positive")
+    return measured_bits / formula_bits

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite.
+
+Statistical tests use fixed seeds so the suite is deterministic; the
+tolerances are set wide enough that the pinned seeds are not
+cherry-picked (changing a seed should almost always still pass — the
+property tests in test_properties.py rotate seeds to back this up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def apply_vector(sketch, vector, seed=0, shuffle=True):
+    """Feed a dense vector to a sketch as a shuffled turnstile stream."""
+    from repro.streams import vector_to_stream
+
+    vector_to_stream(vector, seed=seed, shuffle=shuffle).apply_to(sketch)
+    return sketch
+
+
+def empirical_distribution(results, universe):
+    """Histogram of successful sample indices, normalised."""
+    counts = np.zeros(universe, dtype=np.float64)
+    successes = 0
+    for result in results:
+        if not result.failed:
+            counts[result.index] += 1
+            successes += 1
+    if successes == 0:
+        return counts, 0
+    return counts / successes, successes

@@ -1,0 +1,122 @@
+"""Failure-injection tests: structures under adversarial workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heavy_hitters import (CountSketchHeavyHitters,
+                                      is_valid_heavy_hitter_set)
+from repro.core import L0Sampler, LpSamplerRound
+from repro.recovery import SyndromeSparseRecovery
+from repro.sketch import CountSketch, err_m2
+from repro.streams import vector_to_stream
+from repro.streams.adversary import (alternating_sign_wave,
+                                     cancellation_storm, heavy_tail_decoy,
+                                     threshold_straddler)
+
+
+class TestCancellationStorm:
+    def test_final_vector_is_small(self):
+        stream = cancellation_storm(500, storms=8, survivors=3, seed=1)
+        vec = stream.final_vector()
+        assert np.count_nonzero(vec) == 3
+        assert np.abs(vec).max() < 10
+
+    def test_l0_sampler_survives(self):
+        """Only the 3 true survivors may ever be sampled, despite the
+        10^6-magnitude storms that crossed the structure."""
+        stream = cancellation_storm(500, storms=8, survivors=3, seed=2)
+        survivors = set(np.flatnonzero(stream.final_vector()).tolist())
+        hits = 0
+        for seed in range(15):
+            sampler = L0Sampler(500, delta=0.25, seed=seed)
+            stream.apply_to(sampler)
+            result = sampler.sample()
+            if not result.failed:
+                assert result.index in survivors
+                hits += 1
+        assert hits >= 12
+
+    def test_sparse_recovery_exact_after_storm(self):
+        stream = cancellation_storm(500, storms=15, survivors=4, seed=3)
+        recovery = SyndromeSparseRecovery(500, sparsity=6, seed=3)
+        stream.apply_to(recovery)
+        result = recovery.recover()
+        assert not result.dense
+        assert np.array_equal(result.to_dense(500),
+                              stream.final_vector())
+
+    def test_lp_round_never_outputs_storm_coordinate(self):
+        stream = cancellation_storm(400, storms=10, survivors=3, seed=4)
+        survivors = set(np.flatnonzero(stream.final_vector()).tolist())
+        for seed in range(25):
+            rnd = LpSamplerRound(400, 1.0, 0.4, seed=seed)
+            stream.apply_to(rnd)
+            result = rnd.sample()
+            if not result.failed:
+                assert result.index in survivors
+
+
+class TestHeavyTailDecoy:
+    def test_count_sketch_error_tracks_tail_not_l2(self):
+        """On the decoy, ||x||_2 >> Err^m_2(x)^... actually the decoy
+        makes the tail fat; Lemma 1 must still hold with the TAIL norm."""
+        n, m = 1000, 10
+        vec = heavy_tail_decoy(n, m, seed=5)
+        cs = CountSketch(n, m=m, rows=13, seed=5)
+        vector_to_stream(vec, seed=5).apply_to(cs)
+        worst = np.abs(cs.estimate_all() - vec).max()
+        assert worst <= 1.5 * err_m2(vec, m) / np.sqrt(m)
+
+    def test_decoy_has_fat_tail(self):
+        vec = heavy_tail_decoy(1000, 10, seed=6)
+        assert err_m2(vec, 10) > 0.3 * np.linalg.norm(vec)
+
+
+class TestThresholdStraddler:
+    def test_instance_straddles(self):
+        p, phi = 1.0, 0.1
+        vec = threshold_straddler(300, p, phi, seed=7)
+        norm = float(np.abs(vec).sum())
+        mags = np.abs(vec)
+        assert (mags >= phi * norm).sum() >= 1
+        assert (mags <= 0.5 * phi * norm).all() is not True
+
+    def test_heavy_hitters_remain_valid(self):
+        """Straddling instances (15% margins around the two thresholds)
+        must still produce valid sets at the usual whp rate; with a 5%
+        margin the norm-estimation noise would dominate, which is the
+        honest limit of the phi/2-vs-phi separation."""
+        p, phi = 1.0, 0.125
+        valid = 0
+        for seed in range(6):
+            vec = threshold_straddler(300, p, phi, margin=0.15, seed=seed)
+            algo = CountSketchHeavyHitters(300, p, phi, seed=seed + 50)
+            vector_to_stream(vec, seed=seed).apply_to(algo)
+            valid += is_valid_heavy_hitter_set(algo.heavy_hitters(), vec,
+                                               p, phi)
+        assert valid >= 5
+
+
+class TestAlternatingWave:
+    def test_final_vector_is_pm1(self):
+        stream = alternating_sign_wave(256, 4096, seed=8)
+        vec = stream.final_vector()
+        # values concentrate near zero; the stream is balanced
+        assert abs(int(vec.sum())) <= 1
+
+    def test_l0_sampler_on_wave(self):
+        stream = alternating_sign_wave(256, 2048, seed=9)
+        vec = stream.final_vector()
+        support = set(np.flatnonzero(vec).tolist())
+        if not support:
+            pytest.skip("wave fully cancelled for this seed")
+        hits = 0
+        for seed in range(10):
+            sampler = L0Sampler(256, delta=0.25, seed=seed)
+            stream.apply_to(sampler)
+            result = sampler.sample()
+            if not result.failed:
+                assert result.index in support
+                assert result.estimate == vec[result.index]
+                hits += 1
+        assert hits >= 7

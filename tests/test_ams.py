@@ -1,0 +1,95 @@
+"""Unit tests for the AMS tug-of-war sketch (sketch/ams.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.ams import AMSSketch
+from repro.streams import uniform_signed_vector, zipf_vector
+
+from conftest import apply_vector
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_constant_factor_on_zipf(self, seed):
+        n = 800
+        vec = zipf_vector(n, scale=2000, seed=seed)
+        ams = apply_vector(AMSSketch(n, groups=9, per_group=8, seed=seed),
+                           vec, seed=seed)
+        truth = float(np.linalg.norm(vec))
+        assert ams.l2() == pytest.approx(truth, rel=0.5)
+
+    def test_signed_vector(self):
+        n = 500
+        vec = uniform_signed_vector(n, seed=5)
+        ams = apply_vector(AMSSketch(n, groups=9, per_group=8, seed=5),
+                           vec, seed=5)
+        truth = float(np.linalg.norm(vec))
+        assert ams.l2() == pytest.approx(truth, rel=0.5)
+
+    def test_zero_vector_estimates_zero(self):
+        ams = AMSSketch(100, groups=5, per_group=4, seed=1)
+        assert ams.l2() == 0.0
+
+    def test_single_coordinate_is_exact(self):
+        """One non-zero coordinate: every counter is +-x_i, so the
+        estimate is exactly |x_i|."""
+        ams = AMSSketch(100, groups=5, per_group=4, seed=2)
+        ams.update(42, -9)
+        assert ams.l2() == pytest.approx(9.0)
+
+    def test_upper_l2_brackets_truth(self):
+        """The sampler needs ||v||_2 <= s <= 2 ||v||_2 most of the time."""
+        n = 600
+        hits = 0
+        for seed in range(10):
+            vec = zipf_vector(n, scale=1500, seed=seed)
+            ams = apply_vector(AMSSketch(n, groups=9, per_group=8,
+                                         seed=seed), vec, seed=seed)
+            truth = float(np.linalg.norm(vec))
+            if truth <= ams.upper_l2() <= 2.0 * truth:
+                hits += 1
+        assert hits >= 7
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AMSSketch(10, groups=0)
+        with pytest.raises(ValueError):
+            AMSSketch(10, groups=2, per_group=0)
+
+
+class TestLinearity:
+    def test_subtract_gives_residual_norm(self):
+        """The Figure 1 trick: L'(z - zhat) = L'(z) - L'(zhat)."""
+        n = 300
+        z = zipf_vector(n, scale=1000, seed=7).astype(np.float64)
+        zhat = np.zeros(n)
+        top = np.argsort(-np.abs(z))[:10]
+        zhat[top] = z[top]
+        full = AMSSketch(n, groups=9, per_group=8, seed=7)
+        apply_vector(full, z, seed=1)
+        approx = AMSSketch(n, groups=9, per_group=8, seed=7)
+        approx.sketch_vector(vector=zhat)
+        full.subtract(approx)
+        truth = float(np.linalg.norm(z - zhat))
+        assert full.l2() == pytest.approx(truth, rel=0.6)
+
+    def test_merge_matches_sum(self):
+        a = AMSSketch(100, groups=5, per_group=4, seed=9)
+        b = AMSSketch(100, groups=5, per_group=4, seed=9)
+        a.update(1, 3)
+        b.update(1, 4)
+        a.merge(b)
+        assert a.l2() == pytest.approx(7.0)
+
+    def test_incompatible_rejected(self):
+        a = AMSSketch(100, groups=5, per_group=4, seed=1)
+        b = AMSSketch(100, groups=5, per_group=4, seed=2)
+        with pytest.raises(ValueError):
+            a.subtract(b)
+
+
+class TestSpace:
+    def test_counter_count(self):
+        ams = AMSSketch(1000, groups=7, per_group=6)
+        assert ams.space_report().counter_count == 42

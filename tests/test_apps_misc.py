@@ -1,0 +1,81 @@
+"""Tests for positive-coordinate finding and moment estimation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.moments import FrequencyMomentEstimator
+from repro.apps.positive import NO_POSITIVE, PositiveCoordinateFinder
+from repro.streams import vector_to_stream, zipf_vector
+
+
+class TestPositiveCoordinate:
+    def test_no_positive_certified_when_sparse(self):
+        n = 128
+        finder = PositiveCoordinateFinder(n, s_bound=2, delta=0.3, seed=1,
+                                          sampler_rounds=4)
+        finder.update(5, -3)
+        finder.update(90, -1)
+        assert finder.result() == NO_POSITIVE
+
+    def test_positive_found_in_sparse_regime(self):
+        n = 128
+        finder = PositiveCoordinateFinder(n, s_bound=2, delta=0.3, seed=2,
+                                          sampler_rounds=4)
+        finder.update(5, -3)
+        finder.update(17, 4)
+        result = finder.result()
+        assert result != NO_POSITIVE
+        assert not result.failed and result.index == 17
+
+    def test_positive_found_in_dense_regime(self):
+        """Many negatives force the sampler path (Theorem 3 flavour)."""
+        n, found = 128, 0
+        rng = np.random.default_rng(3)
+        for seed in range(5):
+            finder = PositiveCoordinateFinder(n, s_bound=1, delta=0.2,
+                                              seed=seed, sampler_rounds=6)
+            vec = np.full(n, -1, dtype=np.int64)
+            winners = rng.choice(n, size=n // 2 + 10, replace=False)
+            vec[winners] = 2
+            vector_to_stream(vec, seed=seed).apply_to(finder)
+            result = finder.result()
+            if result != NO_POSITIVE and not result.failed:
+                assert vec[result.index] > 0
+                found += 1
+        assert found >= 3
+
+    def test_zero_vector(self):
+        finder = PositiveCoordinateFinder(64, s_bound=1, delta=0.3, seed=4,
+                                          sampler_rounds=3)
+        assert finder.result() == NO_POSITIVE
+
+
+class TestMoments:
+    def test_rejects_q_below_one(self):
+        with pytest.raises(ValueError):
+            FrequencyMomentEstimator(100, q=0.5)
+
+    def test_f1_is_l1_norm(self):
+        """q = 1 reduces to estimating ||x||_1 itself."""
+        n = 200
+        vec = zipf_vector(n, scale=300, seed=5)
+        est = FrequencyMomentEstimator(n, q=1.0, samples=8, seed=5)
+        vector_to_stream(vec, seed=5).apply_to(est)
+        value = est.estimate()
+        truth = float(np.abs(vec).sum())
+        assert value is not None
+        assert value == pytest.approx(truth, rel=0.6)
+
+    def test_f3_order_of_magnitude(self):
+        n = 200
+        vec = zipf_vector(n, scale=100, seed=6)
+        est = FrequencyMomentEstimator(n, q=3.0, samples=24, seed=6)
+        vector_to_stream(vec, seed=6).apply_to(est)
+        value = est.estimate()
+        truth = float((np.abs(vec).astype(float) ** 3).sum())
+        assert value is not None
+        assert truth / 30 <= value <= truth * 30
+
+    def test_zero_vector_estimates_zero(self):
+        est = FrequencyMomentEstimator(100, q=2.0, samples=4, seed=7)
+        assert est.estimate() == 0.0

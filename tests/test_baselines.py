@@ -1,0 +1,108 @@
+"""Tests for the prior-work baselines (AKO, FIS, GR shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AKOSampler, FISL0Sampler, GRDuplicatesBaseline
+from repro.baselines.ako import AKOSamplerRound
+from repro.core import L0Sampler, LpSamplerRound
+from repro.streams import (duplicate_stream, sparse_vector, vector_to_stream,
+                           zipf_vector)
+
+
+class TestAKO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AKOSamplerRound(100, 2.5, 0.5)
+
+    def test_round_samples_support(self):
+        n = 256
+        vec = zipf_vector(n, scale=400, seed=1)
+        stream = vector_to_stream(vec, seed=1)
+        hits = 0
+        for seed in range(60):
+            rnd = AKOSamplerRound(n, 1.0, 0.3, seed=seed)
+            stream.apply_to(rnd)
+            result = rnd.sample()
+            if not result.failed:
+                hits += 1
+                assert vec[result.index] != 0
+        assert hits >= 3
+
+    def test_amplified_succeeds(self):
+        n = 200
+        vec = zipf_vector(n, scale=300, seed=2)
+        sampler = AKOSampler(n, 1.0, eps=0.3, delta=0.2, seed=3)
+        vector_to_stream(vec, seed=2).apply_to(sampler)
+        result = sampler.sample()
+        assert not result.failed
+
+    def test_extra_log_factor_in_m(self):
+        """The defining difference: AKO's count-sketch m carries log n."""
+        ours = LpSamplerRound(1 << 12, 1.5, 0.25, seed=1)
+        theirs = AKOSamplerRound(1 << 12, 1.5, 0.25, seed=1)
+        assert theirs.m > ours.m
+        small = AKOSamplerRound(1 << 6, 1.5, 0.25, seed=1)
+        assert theirs.m == pytest.approx(2 * small.m, rel=0.2)
+
+    def test_space_one_log_above_ours(self):
+        log_ratio = {}
+        for log_n in (8, 16):
+            ours = LpSamplerRound(1 << log_n, 1.5, 0.5, seed=1)
+            theirs = AKOSamplerRound(1 << log_n, 1.5, 0.5, seed=1)
+            log_ratio[log_n] = (theirs.space_report().counter_total
+                                / ours.space_report().counter_total)
+        # the ratio itself must grow ~linearly with log n
+        assert log_ratio[16] == pytest.approx(2 * log_ratio[8], rel=0.45)
+
+
+class TestFIS:
+    def test_samples_support_exactly(self):
+        n = 256
+        vec = sparse_vector(n, 20, seed=4)
+        stream = vector_to_stream(vec, seed=4)
+        hits = 0
+        for seed in range(15):
+            sampler = FISL0Sampler(n, seed=seed)
+            stream.apply_to(sampler)
+            result = sampler.sample()
+            if not result.failed:
+                hits += 1
+                assert vec[result.index] != 0
+                assert result.estimate == vec[result.index]
+        assert hits >= 12
+
+    def test_zero_vector_fails(self):
+        sampler = FISL0Sampler(128, seed=1)
+        assert sampler.sample().failed
+
+    def test_space_one_log_above_ours(self):
+        ratios = {}
+        for log_n in (7, 14):
+            ours = L0Sampler(1 << log_n, delta=0.25, seed=1)
+            theirs = FISL0Sampler(1 << log_n, seed=1)
+            ratios[log_n] = (theirs.space_report().counter_total
+                             / ours.space_report().counter_total)
+        assert ratios[14] > 1.4 * ratios[7]
+
+
+class TestGRBaseline:
+    def test_finds_duplicates(self):
+        n, found = 96, 0
+        for seed in range(4):
+            inst = duplicate_stream(n, seed=seed)
+            baseline = GRDuplicatesBaseline(n, delta=0.25, seed=seed)
+            baseline.process_items(inst.items)
+            result = baseline.result()
+            if not result.failed:
+                assert result.index in set(inst.duplicates.tolist())
+                found += 1
+        assert found >= 2
+
+    def test_space_above_theorem3(self):
+        from repro.apps.duplicates import DuplicateFinder
+
+        n = 1 << 10
+        ours = DuplicateFinder(n, delta=0.25, seed=1, sampler_rounds=2)
+        theirs = GRDuplicatesBaseline(n, delta=0.25, seed=1)
+        assert theirs.space_bits() > ours.space_bits()

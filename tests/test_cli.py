@@ -1,0 +1,53 @@
+"""Tests for the command-line interface (repro/cli.py)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInProcess:
+    def test_sample(self, capsys):
+        assert main(["sample", "-n", "256", "--count", "3",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "universe n=256" in out
+
+    def test_l0(self, capsys):
+        assert main(["l0", "-n", "256", "--support", "20",
+                     "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_duplicates(self, capsys):
+        code = main(["duplicates", "-n", "128", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "stream of 129 items" in out
+
+    def test_hh(self, capsys):
+        assert main(["hh", "-n", "256", "--phi", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "valid: True" in out
+
+    @pytest.mark.parametrize("structure", ["lp", "ako", "l0", "fis"])
+    def test_space(self, capsys, structure):
+        assert main(["space", structure, "--logn", "8", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bits" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAsModule:
+    def test_python_dash_m(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "space", "l0",
+             "--logn", "8"],
+            capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0
+        assert "bits" in proc.stdout

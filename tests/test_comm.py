@@ -1,0 +1,241 @@
+"""Tests for the communication package: UR protocols and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.duplicates import DuplicateFinder
+from repro.comm import (augmented_indexing_via_heavy_hitters,
+                        augmented_indexing_via_ur, decode_ai_from_ur_index,
+                        duplicates_protocol_for_ur, hh_vectors_from_ai,
+                        information_floor_bits, one_round_protocol,
+                        random_ai_instance, random_ur_instance, referee,
+                        sampler_finds_duplicate, symmetrize,
+                        two_round_protocol, ur_vectors_from_ai)
+from repro.comm.augmented_indexing import AugmentedIndexingInstance
+
+
+class TestInstances:
+    def test_ur_instance_differs(self):
+        inst = random_ur_instance(64, seed=1)
+        assert inst.difference_set.size >= 1
+
+    def test_ur_fixed_distance(self):
+        inst = random_ur_instance(64, hamming_distance=5, seed=2)
+        assert inst.difference_set.size == 5
+
+    def test_ur_correctness_predicate(self):
+        inst = random_ur_instance(64, hamming_distance=3, seed=3)
+        d = inst.difference_set
+        assert inst.is_correct(int(d[0]))
+        same = next(i for i in range(64) if i not in set(d.tolist()))
+        assert not inst.is_correct(same)
+        assert not inst.is_correct(None)
+
+    def test_ai_instance_fields(self):
+        inst = random_ai_instance(10, 16, seed=4)
+        assert inst.length == 10
+        assert len(inst.prefix) == inst.index
+        assert inst.answer == inst.string[inst.index]
+
+    def test_referee(self):
+        inst = random_ai_instance(5, 8, seed=5)
+        assert referee(inst, inst.answer)
+        assert not referee(inst, None)
+        assert not referee(inst, (inst.answer + 1) % 8)
+
+    def test_information_floor(self):
+        assert information_floor_bits(10, 16, delta=0.5) \
+            == pytest.approx(0.5 * 10 * 4)
+
+
+class TestURProtocols:
+    @pytest.mark.parametrize("distance", [1, 7, 40])
+    def test_one_round_correct(self, distance):
+        ok = 0
+        for seed in range(10):
+            inst = random_ur_instance(128, hamming_distance=distance,
+                                      seed=seed)
+            result = one_round_protocol(inst, delta=0.2, seed=seed)
+            ok += inst.is_correct(result.output)
+        assert ok >= 8
+
+    @pytest.mark.parametrize("distance", [1, 7, 40])
+    def test_two_round_correct(self, distance):
+        ok = 0
+        for seed in range(10):
+            inst = random_ur_instance(128, hamming_distance=distance,
+                                      seed=seed)
+            result = two_round_protocol(inst, delta=0.2, seed=seed)
+            ok += inst.is_correct(result.output)
+        assert ok >= 7
+
+    def test_one_round_has_one_message(self):
+        inst = random_ur_instance(64, seed=1)
+        assert one_round_protocol(inst, seed=1).rounds == 1
+
+    def test_two_round_has_two_messages(self):
+        inst = random_ur_instance(64, seed=1)
+        assert two_round_protocol(inst, seed=1).rounds == 2
+
+    def test_round_tradeoff_in_bits(self):
+        """Proposition 5: the second round buys a log factor."""
+        n = 1 << 12
+        inst = random_ur_instance(n, hamming_distance=10, seed=2)
+        bits1 = one_round_protocol(inst, seed=2).total_bits
+        bits2 = two_round_protocol(inst, seed=2).total_bits
+        assert bits2 < bits1
+
+    def test_deterministic_baseline_always_correct(self):
+        from repro.comm import deterministic_protocol
+
+        for seed in range(5):
+            inst = random_ur_instance(64, seed=seed)
+            result = deterministic_protocol(inst, seed=seed)
+            assert inst.is_correct(result.output)
+            assert result.total_bits == 64  # Theta(n), the point
+
+    def test_symmetrize_preserves_correctness(self):
+        ok = 0
+        for seed in range(8):
+            inst = random_ur_instance(128, hamming_distance=9, seed=seed)
+            result = symmetrize(one_round_protocol, inst, seed=seed,
+                                delta=0.2)
+            ok += inst.is_correct(result.output)
+        assert ok >= 6
+
+    def test_symmetrize_spreads_reported_indices(self):
+        """Lemma 7: with symmetrization every differing index appears."""
+        inst = random_ur_instance(32, hamming_distance=4, seed=11)
+        seen = set()
+        for seed in range(40):
+            result = symmetrize(one_round_protocol, inst, seed=seed,
+                                delta=0.2)
+            if inst.is_correct(result.output):
+                seen.add(int(result.output))
+        assert len(seen) >= 3  # of the 4 differing positions
+
+
+class TestTheorem6Construction:
+    def test_vector_shapes(self):
+        inst = AugmentedIndexingInstance(8, (1, 5, 2), 1)
+        u, v = ur_vectors_from_ai(inst)
+        assert u.size == (2**3 - 1) * 8
+        assert v.size == u.size
+
+    def test_prefix_blocks_cancel(self):
+        inst = AugmentedIndexingInstance(8, (1, 5, 2), 1)
+        u, v = ur_vectors_from_ai(inst)
+        diff = np.flatnonzero(u != v)
+        # no differences in block 0 (known to Bob), all in blocks >= 1
+        assert diff.min() >= 4 * 8
+
+    def test_majority_of_differences_reveal_queried_digit(self):
+        inst = AugmentedIndexingInstance(8, (1, 5, 2, 7), 2)
+        u, v = ur_vectors_from_ai(inst)
+        diff = np.flatnonzero(u != v)
+        revealed = [decode_ai_from_ur_index(inst, int(i)) for i in diff]
+        correct = sum(r == inst.answer for r in revealed)
+        assert correct / len(revealed) > 0.5  # the paper's key count
+
+    def test_end_to_end_success_rate(self):
+        ok, tries = 0, 12
+        for seed in range(tries):
+            inst = random_ai_instance(3, 8, seed=seed)
+            result = augmented_indexing_via_ur(inst, one_round_protocol,
+                                               seed=seed, delta=0.2)
+            ok += referee(inst, result.output)
+        assert ok / tries > 0.5
+
+
+class TestTheorem7Reduction:
+    def test_success_rate(self):
+        ok, tries = 0, 5
+        for seed in range(tries):
+            inst = random_ur_instance(64, hamming_distance=7,
+                                      seed=100 + seed)
+            result = duplicates_protocol_for_ur(
+                inst, seed=seed, attempts=12,
+                finder_factory=lambda s: DuplicateFinder(
+                    64, delta=0.34, seed=s, sampler_rounds=4))
+            ok += inst.is_correct(result.output)
+        assert ok >= 3
+
+    def test_message_bits_positive(self):
+        inst = random_ur_instance(48, hamming_distance=5, seed=7)
+        result = duplicates_protocol_for_ur(
+            inst, seed=7, attempts=6,
+            finder_factory=lambda s: DuplicateFinder(
+                48, delta=0.34, seed=s, sampler_rounds=3))
+        assert result.total_bits > 0
+
+
+class TestTheorem8Statement:
+    def test_l1_sampler_finds_positive(self):
+        from repro.core import L1Sampler
+
+        ok, tries = 0, 8
+        for seed in range(tries):
+            inst = random_ur_instance(128, hamming_distance=11, seed=seed)
+            result = sampler_finds_duplicate(
+                inst, lambda n, s: L1Sampler(n, eps=0.5, rounds=10, seed=s),
+                seed=seed)
+            if result.output is not None:
+                ok += inst.is_correct(result.output)
+        assert ok >= 4
+
+    def test_l0_sampler_also_works(self):
+        """p is irrelevant for 0/+-1 vectors — the Theorem 8 point."""
+        from repro.core import L0Sampler
+
+        ok, tries = 0, 8
+        for seed in range(tries):
+            inst = random_ur_instance(128, hamming_distance=11, seed=seed)
+            result = sampler_finds_duplicate(
+                inst, lambda n, s: L0Sampler(n, delta=0.2, seed=s),
+                seed=seed)
+            if result.output is not None:
+                ok += inst.is_correct(result.output)
+        assert ok >= 6
+
+
+class TestTheorem9Reduction:
+    def test_geometric_weights(self):
+        inst = AugmentedIndexingInstance(4, (1, 3, 0), 0)
+        u, v = hh_vectors_from_ai(inst, p=1.0, phi=0.25)
+        # base b = (1 - 0.5)^-1 = 2: weights 4, 2, 1
+        weights = sorted(u[u > 0].tolist(), reverse=True)
+        assert weights == [4, 2, 1]
+        assert not v.any()  # index 0: Bob knows nothing
+
+    def test_invalid_phi_rejected(self):
+        inst = AugmentedIndexingInstance(4, (1, 3, 0), 0)
+        with pytest.raises(ValueError):
+            hh_vectors_from_ai(inst, p=1.0, phi=0.5)
+
+    def test_first_surviving_block_is_heavy(self):
+        """The Theorem 9 inequality: x_{l_i} >= phi ||x||_p."""
+        for p, phi in ((1.0, 0.25), (1.5, 0.3), (0.5, 0.2)):
+            inst = AugmentedIndexingInstance(8, (1, 5, 2, 7, 0), 2)
+            u, v = hh_vectors_from_ai(inst, p=p, phi=phi)
+            x = (u - v).astype(np.float64)
+            norm = (np.abs(x)**p).sum() ** (1.0 / p)
+            first = np.flatnonzero(x)[0] if np.flatnonzero(x).size else None
+            assert first is not None
+            assert abs(x[first]) >= phi * norm
+
+    def test_end_to_end_success_rate(self):
+        ok, tries = 0, 8
+        for seed in range(tries):
+            inst = random_ai_instance(4, 8, seed=seed)
+            result = augmented_indexing_via_heavy_hitters(
+                inst, p=1.0, phi=0.25, seed=seed)
+            ok += referee(inst, result.output)
+        assert ok >= 6
+
+    def test_message_grows_with_phi_precision(self):
+        inst = random_ai_instance(4, 8, seed=1)
+        coarse = augmented_indexing_via_heavy_hitters(
+            inst, p=1.0, phi=0.25, seed=1)
+        fine = augmented_indexing_via_heavy_hitters(
+            inst, p=1.0, phi=0.05, seed=1)
+        assert fine.total_bits > coarse.total_bits

@@ -1,0 +1,177 @@
+"""Tests for RepeatedSampler, PerfectLpSampler and ReservoirSampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import (PerfectLpSampler, RepeatedSampler, ReservoirSampler,
+                        SampleResult, lp_distribution, total_variation)
+from repro.core.base import StreamingSampler
+from repro.streams import vector_to_stream, zipf_vector
+
+
+class _AlwaysFails(StreamingSampler):
+    def __init__(self, seed):
+        self.universe = 10
+        self.calls = 0
+
+    def update(self, index, delta):
+        self.calls += 1
+
+    def update_many(self, indices, deltas):
+        self.calls += len(np.asarray(indices))
+
+    def sample(self):
+        return SampleResult.fail("nope")
+
+    def space_bits(self):
+        return 7
+
+    def space_report(self):
+        from repro.space.accounting import SpaceReport
+        return SpaceReport(label="stub", seed_bits=7)
+
+
+class _SucceedsWithIndex(StreamingSampler):
+    def __init__(self, index):
+        self.universe = 10
+        self.index = index
+
+    def update(self, index, delta):
+        pass
+
+    def update_many(self, indices, deltas):
+        pass
+
+    def sample(self):
+        return SampleResult.ok(self.index)
+
+    def space_report(self):
+        from repro.space.accounting import SpaceReport
+        return SpaceReport(label="stub", seed_bits=1)
+
+
+class TestRepeatedSampler:
+    def test_requires_positive_rounds(self):
+        with pytest.raises(ValueError):
+            RepeatedSampler(lambda s: _AlwaysFails(s), rounds=0)
+
+    def test_fans_out_updates(self):
+        rep = RepeatedSampler(lambda s: _AlwaysFails(s), rounds=5)
+        rep.update(1, 2)
+        assert all(inst.calls == 1 for inst in rep.instances)
+
+    def test_all_fail_propagates(self):
+        rep = RepeatedSampler(lambda s: _AlwaysFails(s), rounds=3)
+        result = rep.sample()
+        assert result.failed
+        assert "nope" in result.reason
+
+    def test_first_success_wins(self):
+        counter = iter(range(100))
+
+        def factory(seed):
+            i = next(counter)
+            return _AlwaysFails(seed) if i < 2 else _SucceedsWithIndex(i)
+
+        rep = RepeatedSampler(factory, rounds=5)
+        result = rep.sample()
+        assert not result.failed
+        assert result.index == 2
+        assert result.diagnostics["round"] == 2
+
+    def test_distinct_seeds_per_round(self):
+        seen = []
+        rep = RepeatedSampler(lambda s: (seen.append(s),
+                                         _AlwaysFails(s))[1], rounds=6)
+        assert len(set(seen)) == 6
+
+    def test_space_sums_rounds(self):
+        rep = RepeatedSampler(lambda s: _AlwaysFails(s), rounds=4)
+        assert rep.space_bits() == 4 * 7
+
+
+class TestPerfectSampler:
+    def test_zero_vector_fails(self):
+        sampler = PerfectLpSampler(100, 1.0, seed=1)
+        assert sampler.sample().failed
+
+    def test_distribution_matches_definition(self):
+        vec = np.array([0, 1, 3, 0, -4], dtype=np.int64)
+        sampler = PerfectLpSampler(5, 1.0, seed=2)
+        sampler.update_many(np.flatnonzero(vec), vec[np.flatnonzero(vec)])
+        dist = sampler.distribution()
+        assert np.allclose(dist, [0, 1 / 8, 3 / 8, 0, 4 / 8])
+
+    def test_l0_distribution_uniform_on_support(self):
+        vec = np.array([0, 5, -1, 0, 100], dtype=np.int64)
+        assert np.allclose(lp_distribution(vec, 0.0),
+                           [0, 1 / 3, 1 / 3, 0, 1 / 3])
+
+    def test_empirical_matches_exact(self):
+        n = 50
+        vec = zipf_vector(n, scale=100, seed=3)
+        sampler = PerfectLpSampler(n, 1.0, seed=4)
+        vector_to_stream(vec, seed=5).apply_to(sampler)
+        counts = np.zeros(n)
+        for _ in range(4000):
+            result = sampler.sample()
+            counts[result.index] += 1
+        tv = total_variation(counts / 4000, lp_distribution(vec, 1.0))
+        assert tv < 0.08
+
+    def test_p2_weights(self):
+        vec = np.array([1, 2], dtype=np.int64)
+        assert np.allclose(lp_distribution(vec, 2.0), [0.2, 0.8])
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        d = np.array([0.5, 0.5])
+        assert total_variation(d, d) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation([1, 0], [0, 1]) == 1.0
+
+    def test_symmetry(self):
+        a = np.array([0.7, 0.2, 0.1])
+        b = np.array([0.1, 0.3, 0.6])
+        assert total_variation(a, b) == total_variation(b, a)
+
+
+class TestReservoir:
+    def test_empty_stream_fails(self):
+        sampler = ReservoirSampler(10, seed=1)
+        assert sampler.sample().failed
+
+    def test_single_item(self):
+        sampler = ReservoirSampler(10, seed=2)
+        sampler.update(7, 5)
+        result = sampler.sample()
+        assert result.index == 7
+
+    def test_perfect_l1_on_insertions(self):
+        """The introduction's claim: exact L1 sampling in O(1) words."""
+        weights = {0: 10, 1: 30, 2: 60}
+        counts = np.zeros(3)
+        for seed in range(2000):
+            sampler = ReservoirSampler(3, seed=seed)
+            for i, w in weights.items():
+                sampler.update(i, w)
+            counts[sampler.sample().index] += 1
+        emp = counts / counts.sum()
+        assert np.allclose(emp, [0.1, 0.3, 0.6], atol=0.05)
+
+    def test_deletions_flagged(self):
+        """The motivating failure: reservoirs cannot handle deletions."""
+        sampler = ReservoirSampler(10, seed=3)
+        sampler.update(1, 5)
+        sampler.update(1, -5)
+        assert not sampler.insertion_only
+        result = sampler.sample()
+        assert result.diagnostics["insertion_only"] is False
+
+    def test_space_is_constant(self):
+        small = ReservoirSampler(10)
+        large = ReservoirSampler(10**6)
+        assert small.space_report().counter_count \
+            == large.space_report().counter_count

@@ -1,0 +1,98 @@
+"""Unit tests for count-min / count-median (sketch/count_min.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.count_min import CountMin
+from repro.streams import vector_to_stream, zipf_vector
+
+from conftest import apply_vector
+
+
+class TestCountMin:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CountMin(10, buckets=0, rows=3)
+        with pytest.raises(ValueError):
+            CountMin(10, buckets=4, rows=0)
+
+    def test_never_underestimates_strict_turnstile(self):
+        n = 500
+        vec = zipf_vector(n, scale=1000, seed=1)  # non-negative
+        cm = CountMin(n, buckets=64, rows=7, seed=1)
+        apply_vector(cm, vec, seed=1)
+        estimates = cm.estimate_many(np.arange(n))
+        assert np.all(estimates >= vec)
+
+    def test_overestimate_bounded_by_l1_over_buckets(self):
+        n, buckets = 500, 128
+        vec = zipf_vector(n, scale=1000, seed=2)
+        cm = CountMin(n, buckets=buckets, rows=9, seed=2)
+        apply_vector(cm, vec, seed=2)
+        estimates = cm.estimate_many(np.arange(n))
+        slack = 4.0 * vec.sum() / buckets  # markov bound with slack
+        assert np.all(estimates - vec <= slack)
+
+    def test_exact_when_no_collisions_possible(self):
+        cm = CountMin(4, buckets=64, rows=5, seed=3)
+        cm.update(0, 10)
+        cm.update(1, 20)
+        # with 4 keys in 64 buckets collisions in all 5 rows are unlikely
+        assert cm.estimate(0) == 10
+        assert cm.estimate(1) == 20
+
+    def test_handles_deletions(self):
+        cm = CountMin(100, buckets=32, rows=5, seed=4)
+        cm.update(7, 10)
+        cm.update(7, -4)
+        assert cm.estimate(7) == 6
+
+
+class TestCountMedian:
+    def test_median_close_in_general_model(self):
+        """With signed updates count-min breaks but count-median holds."""
+        n = 400
+        rng = np.random.default_rng(5)
+        vec = rng.integers(-20, 21, size=n)
+        cm = CountMin(n, buckets=256, rows=11, seed=5)
+        apply_vector(cm, vec, seed=5)
+        med = cm.estimate_median_many(np.arange(n))
+        err = np.abs(med - vec)
+        assert np.median(err) <= 8.0
+        assert err.max() <= 40.0
+
+    def test_single_key(self):
+        cm = CountMin(100, buckets=32, rows=5, seed=6)
+        cm.update(50, -7)
+        assert cm.estimate_median(50) == pytest.approx(-7)
+
+
+class TestLinearity:
+    def test_merge(self):
+        a = CountMin(100, buckets=16, rows=5, seed=7)
+        b = CountMin(100, buckets=16, rows=5, seed=7)
+        a.update(1, 5)
+        b.update(1, 7)
+        a.merge(b)
+        assert a.estimate(1) == 12
+
+    def test_subtract_to_zero(self):
+        a = CountMin(100, buckets=16, rows=5, seed=8)
+        b = CountMin(100, buckets=16, rows=5, seed=8)
+        vec = zipf_vector(100, seed=9)
+        apply_vector(a, vec, seed=1)
+        apply_vector(b, vec, seed=2)
+        a.subtract(b)
+        assert not a.table.any()
+
+    def test_incompatible_rejected(self):
+        a = CountMin(100, buckets=16, rows=5, seed=1)
+        b = CountMin(100, buckets=32, rows=5, seed=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSpace:
+    def test_report_counts(self):
+        cm = CountMin(1000, buckets=20, rows=6)
+        assert cm.space_report().counter_count == 120

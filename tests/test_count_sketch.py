@@ -1,0 +1,188 @@
+"""Unit tests for the count-sketch (sketch/count_sketch.py) — Lemma 1."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.count_sketch import CountSketch, err_m2, rows_for_universe
+from repro.streams import vector_to_stream, zipf_vector
+
+from conftest import apply_vector
+
+
+class TestErrM2:
+    def test_zero_for_sparse_vector(self):
+        vec = np.zeros(100)
+        vec[3] = 7
+        assert err_m2(vec, 1) == 0.0
+
+    def test_m_at_least_n(self):
+        assert err_m2(np.arange(10), 10) == 0.0
+
+    def test_tail_only(self):
+        vec = np.array([100, 3, 4, 0])
+        # best 1-sparse keeps the 100; the tail is (3, 4)
+        assert err_m2(vec, 1) == pytest.approx(5.0)
+
+    def test_monotone_in_m(self):
+        vec = zipf_vector(200, seed=1).astype(np.float64)
+        errs = [err_m2(vec, m) for m in (1, 5, 20, 100)]
+        assert errs == sorted(errs, reverse=True)
+
+
+class TestBasics:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CountSketch(10, m=0, rows=3)
+        with pytest.raises(ValueError):
+            CountSketch(10, m=2, rows=0)
+
+    def test_buckets_are_six_m(self):
+        cs = CountSketch(100, m=7, rows=3)
+        assert cs.buckets == 42
+
+    def test_exact_on_very_sparse_input(self):
+        cs = CountSketch(1000, m=10, rows=9, seed=1)
+        cs.update(42, 5)
+        cs.update(42, -2)
+        assert cs.estimate(42) == pytest.approx(3.0)
+
+    def test_estimate_many_matches_single(self):
+        cs = CountSketch(100, m=5, rows=7, seed=2)
+        cs.update_many(np.arange(20), np.arange(20) + 1.0)
+        singles = [cs.estimate(i) for i in range(30)]
+        batch = cs.estimate_many(np.arange(30))
+        assert np.allclose(singles, batch)
+
+    def test_estimate_all_shape(self):
+        cs = CountSketch(64, m=4, rows=5, seed=3)
+        assert cs.estimate_all().shape == (64,)
+
+    def test_deterministic_given_seed(self):
+        a = CountSketch(100, m=5, rows=7, seed=9)
+        b = CountSketch(100, m=5, rows=7, seed=9)
+        a.update(3, 10)
+        b.update(3, 10)
+        assert np.array_equal(a.table, b.table)
+
+
+class TestLemma1:
+    """The per-coordinate error bound |x_i - x*_i| <= Err^m_2(x)/sqrt(m)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_error_bound_zipf(self, seed):
+        n, m = 1500, 20
+        vec = zipf_vector(n, scale=5000, seed=seed)
+        cs = apply_vector(CountSketch(n, m=m, rows=13, seed=seed), vec,
+                          seed=seed)
+        worst = np.abs(cs.estimate_all() - vec).max()
+        assert worst <= err_m2(vec, m) / np.sqrt(m) * 1.5  # slack for whp
+
+    def test_heavy_coordinates_do_not_pollute(self):
+        """A giant coordinate must not degrade other estimates — the tail
+        bound (not ||x||_2) governs the error; this is the paper's key
+        advantage over the AKO analysis."""
+        n, m = 1000, 10
+        vec = np.zeros(n, dtype=np.int64)
+        vec[7] = 10**6
+        vec[100:200] = 3
+        cs = apply_vector(CountSketch(n, m=m, rows=13, seed=5), vec, seed=5)
+        estimates = cs.estimate_all()
+        assert abs(estimates[7] - 10**6) <= err_m2(vec, m) / np.sqrt(m) * 1.5
+        others = np.delete(np.abs(estimates - vec), 7)
+        assert others.max() <= err_m2(vec, m) / np.sqrt(m) * 1.5
+
+    def test_sparse_approximation_error_sandwich(self):
+        """Err^m_2(x) <= ||x - xhat||_2 <= 10 Err^m_2(x) (Lemma 1)."""
+        n, m = 1200, 15
+        vec = zipf_vector(n, scale=3000, seed=7)
+        cs = apply_vector(CountSketch(n, m=m, rows=13, seed=7), vec, seed=7)
+        idx, vals = cs.best_sparse_approximation()
+        xhat = np.zeros(n)
+        xhat[idx] = vals
+        dist = np.linalg.norm(vec - xhat)
+        truth = err_m2(vec, m)
+        assert truth <= dist + 1e-9
+        assert dist <= 10.0 * truth
+
+
+class TestRecoveryHelpers:
+    def test_best_sparse_has_m_entries(self):
+        cs = CountSketch(100, m=5, rows=7, seed=1)
+        cs.update_many(np.arange(50), np.ones(50))
+        idx, vals = cs.best_sparse_approximation()
+        assert idx.size == 5 and vals.size == 5
+
+    def test_heaviest_index_finds_planted(self):
+        n = 500
+        cs = CountSketch(n, m=5, rows=9, seed=2)
+        vec = np.zeros(n, dtype=np.int64)
+        vec[123] = 1000
+        vec[200:260] = 2
+        apply_vector(cs, vec, seed=2)
+        index, estimate = cs.heaviest_index()
+        assert index == 123
+        assert estimate == pytest.approx(1000, rel=0.1)
+
+
+class TestLinearity:
+    def test_merge_equals_joint_stream(self):
+        n = 200
+        a = CountSketch(n, m=5, rows=7, seed=4)
+        b = CountSketch(n, m=5, rows=7, seed=4)
+        joint = CountSketch(n, m=5, rows=7, seed=4)
+        va = zipf_vector(n, seed=1)
+        vb = zipf_vector(n, seed=2)
+        apply_vector(a, va, seed=1)
+        apply_vector(b, vb, seed=2)
+        apply_vector(joint, va, seed=3)
+        apply_vector(joint, vb, seed=4)
+        a.merge(b)
+        assert np.allclose(a.table, joint.table)
+
+    def test_subtract_cancels(self):
+        n = 200
+        a = CountSketch(n, m=5, rows=7, seed=4)
+        b = CountSketch(n, m=5, rows=7, seed=4)
+        vec = zipf_vector(n, seed=3)
+        apply_vector(a, vec, seed=5)
+        apply_vector(b, vec, seed=6)
+        a.subtract(b)
+        assert np.allclose(a.table, 0.0)
+
+    def test_merge_rejects_different_seed(self):
+        a = CountSketch(100, m=5, rows=7, seed=1)
+        b = CountSketch(100, m=5, rows=7, seed=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_different_m(self):
+        a = CountSketch(100, m=5, rows=7, seed=1)
+        b = CountSketch(100, m=6, rows=7, seed=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_copy_is_independent(self):
+        a = CountSketch(100, m=5, rows=7, seed=1)
+        a.update(3, 4)
+        b = a.copy()
+        b.update(3, 4)
+        assert a.estimate(3) == pytest.approx(4.0)
+        assert b.estimate(3) == pytest.approx(8.0)
+
+
+class TestSpace:
+    def test_counter_count(self):
+        cs = CountSketch(1 << 12, m=8, rows=10)
+        report = cs.space_report()
+        assert report.counter_count == 10 * 48
+
+    def test_rows_for_universe_monotone(self):
+        assert rows_for_universe(1 << 20) > rows_for_universe(1 << 8)
+
+    def test_space_grows_log_squared(self):
+        """counters * bits ~ m log^2 n: quadruple n, bits grow ~ (log ratio)^2."""
+        small = CountSketch(1 << 8, m=8, rows=rows_for_universe(1 << 8))
+        large = CountSketch(1 << 16, m=8, rows=rows_for_universe(1 << 16))
+        ratio = large.space_report().counter_total \
+            / small.space_report().counter_total
+        assert 2.0 < ratio < 8.0  # (16/8)^2 = 4 modulo rounding

@@ -1,0 +1,160 @@
+"""Tests for the Section 3 duplicate finders (apps/duplicates.py)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.duplicates import (NO_DUPLICATE, DuplicateFinder,
+                                   LongStreamDuplicateFinder,
+                                   ShortStreamDuplicateFinder,
+                                   _repetitions_for)
+from repro.streams import (duplicate_stream, long_stream,
+                           planted_duplicate_stream, short_stream)
+
+
+class TestRepetitionCount:
+    def test_monotone(self):
+        assert _repetitions_for(0.01) > _repetitions_for(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _repetitions_for(0.0)
+        with pytest.raises(ValueError):
+            _repetitions_for(1.0)
+
+
+class TestTheorem3:
+    def test_random_streams_find_true_duplicates(self):
+        n, ok, wrong = 128, 0, 0
+        for seed in range(8):
+            inst = duplicate_stream(n, seed=seed)
+            finder = DuplicateFinder(n, delta=0.2, seed=seed,
+                                     sampler_rounds=6)
+            finder.process_items(inst.items)
+            result = finder.result()
+            if result.failed:
+                continue
+            ok += 1
+            if result.index not in set(inst.duplicates.tolist()):
+                wrong += 1
+        assert ok >= 6       # failure rate well under delta on average
+        assert wrong == 0    # wrong outputs are low-probability events
+
+    def test_single_planted_duplicate(self):
+        """Worst case: one duplicated letter hiding among n singletons."""
+        n, found = 128, 0
+        for seed in range(6):
+            inst = planted_duplicate_stream(n, seed=seed)
+            finder = DuplicateFinder(n, delta=0.2, seed=seed + 50,
+                                     sampler_rounds=6)
+            finder.process_items(inst.items)
+            result = finder.result()
+            if not result.failed:
+                assert result.index == int(inst.duplicates[0])
+                found += 1
+        assert found >= 4
+
+    def test_item_by_item_matches_bulk(self):
+        n = 64
+        inst = duplicate_stream(n, seed=3)
+        a = DuplicateFinder(n, delta=0.3, seed=9, sampler_rounds=4)
+        b = DuplicateFinder(n, delta=0.3, seed=9, sampler_rounds=4)
+        a.process_items(inst.items)
+        for item in inst.items:
+            b.process_item(int(item))
+        ra, rb = a.result(), b.result()
+        assert ra.failed == rb.failed
+        if not ra.failed:
+            assert ra.index == rb.index
+
+    def test_space_is_log_squared(self):
+        small = DuplicateFinder(1 << 7, delta=0.3, seed=1, sampler_rounds=2)
+        large = DuplicateFinder(1 << 14, delta=0.3, seed=1, sampler_rounds=2)
+        ratio = large.space_report().counter_total \
+            / small.space_report().counter_total
+        assert 2.0 < ratio < 8.0
+
+
+class TestTheorem4:
+    def test_no_duplicate_certified(self):
+        """Probability-1 NO-DUPLICATE on duplicate-free streams."""
+        n = 128
+        for seed in range(5):
+            inst = short_stream(n, missing=6, with_duplicate=False,
+                                seed=seed)
+            finder = ShortStreamDuplicateFinder(n, s=6, delta=0.3,
+                                                seed=seed, sampler_rounds=4)
+            finder.process_items(inst.items)
+            assert finder.result() == NO_DUPLICATE
+
+    def test_duplicate_found_exactly_when_sparse(self):
+        """With few missing letters, x is 5s-sparse: the exact path."""
+        n = 128
+        for seed in range(5):
+            inst = short_stream(n, missing=4, with_duplicate=True,
+                                seed=seed)
+            finder = ShortStreamDuplicateFinder(n, s=4, delta=0.3,
+                                                seed=seed, sampler_rounds=4)
+            finder.process_items(inst.items)
+            result = finder.result()
+            assert result != NO_DUPLICATE
+            assert not result.failed
+            assert result.index == int(inst.duplicates[0])
+            assert result.diagnostics.get("exact") is True
+
+    def test_s_zero_is_pigeonhole_regime(self):
+        n = 64
+        inst = duplicate_stream(n, length=n, seed=7)
+        # a random length-n stream usually has duplicates; if x is
+        # 5*1-sparse the finder answers exactly, otherwise samples.
+        finder = ShortStreamDuplicateFinder(n, s=0, delta=0.3, seed=7,
+                                            sampler_rounds=4)
+        finder.process_items(inst.items)
+        result = finder.result()
+        if inst.duplicates.size == 0:
+            assert result == NO_DUPLICATE
+        elif result != NO_DUPLICATE and not result.failed:
+            assert result.index in set(inst.duplicates.tolist())
+
+    def test_space_linear_in_s(self):
+        base = ShortStreamDuplicateFinder(1 << 10, s=1, delta=0.3, seed=1,
+                                          sampler_rounds=2)
+        big = ShortStreamDuplicateFinder(1 << 10, s=50, delta=0.3, seed=1,
+                                         sampler_rounds=2)
+        extra = big.space_bits() - base.space_bits()
+        # the added cost is the 5s-sparse recovery: O(s log n)
+        assert extra == pytest.approx(
+            (5 * 49) * 2 * 21, rel=0.5)
+
+
+class TestLongStreams:
+    def test_position_strategy_chosen_when_extra_large(self):
+        finder = LongStreamDuplicateFinder(256, extra=128, seed=1)
+        assert finder.strategy == "positions"
+
+    def test_sampler_strategy_chosen_when_extra_small(self):
+        finder = LongStreamDuplicateFinder(256, extra=2, seed=1)
+        assert finder.strategy == "sampler"
+
+    def test_position_strategy_finds_duplicates(self):
+        n, found = 256, 0
+        for seed in range(8):
+            inst = long_stream(n, extra=128, seed=seed)
+            finder = LongStreamDuplicateFinder(n, extra=128, delta=0.2,
+                                               seed=seed)
+            finder.process_items(inst.items)
+            result = finder.result()
+            if not result.failed:
+                assert result.index in set(inst.duplicates.tolist())
+                found += 1
+        assert found >= 6
+
+    def test_position_strategy_space_smaller_than_sampler(self):
+        n = 1 << 12
+        positions = LongStreamDuplicateFinder(n, extra=n // 2, seed=1)
+        assert positions.strategy == "positions"
+        sampler = DuplicateFinder(n, delta=0.25, seed=1, sampler_rounds=2)
+        assert positions.space_bits() < sampler.space_bits()
+
+    def test_rejects_nonpositive_extra(self):
+        with pytest.raises(ValueError):
+            LongStreamDuplicateFinder(100, extra=0)

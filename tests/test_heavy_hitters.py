@@ -1,0 +1,118 @@
+"""Tests for the Section 4.4 heavy hitters (apps/heavy_hitters.py)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heavy_hitters import (CountMedianHeavyHitters,
+                                      CountSketchHeavyHitters,
+                                      is_valid_heavy_hitter_set)
+from repro.streams import heavy_hitter_instance, vector_to_stream
+
+
+class TestValidity:
+    def test_validator_accepts_exact_heavy_set(self):
+        inst = heavy_hitter_instance(200, p=1.0, phi=0.2, seed=1)
+        assert is_valid_heavy_hitter_set(inst.required(), inst.vector,
+                                         1.0, 0.2)
+
+    def test_validator_rejects_missing_required(self):
+        inst = heavy_hitter_instance(200, p=1.0, phi=0.2, seed=2)
+        assert not is_valid_heavy_hitter_set([], inst.vector, 1.0, 0.2)
+
+    def test_validator_rejects_forbidden(self):
+        inst = heavy_hitter_instance(200, p=1.0, phi=0.2, seed=3)
+        bad = np.concatenate([inst.required(), inst.forbidden()[:1]])
+        assert not is_valid_heavy_hitter_set(bad, inst.vector, 1.0, 0.2)
+
+
+class TestCountSketchHH:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketchHeavyHitters(100, p=2.5, phi=0.1)
+        with pytest.raises(ValueError):
+            CountSketchHeavyHitters(100, p=1.0, phi=0.0)
+
+    def test_m_scales_as_phi_to_minus_p(self):
+        a = CountSketchHeavyHitters(100, p=1.0, phi=0.25)
+        b = CountSketchHeavyHitters(100, p=1.0, phi=0.25 / 4)
+        assert b.m == pytest.approx(4 * a.m, rel=0.1)
+        c = CountSketchHeavyHitters(100, p=2.0, phi=0.25)
+        d = CountSketchHeavyHitters(100, p=2.0, phi=0.25 / 2)
+        assert d.m == pytest.approx(4 * c.m, rel=0.1)
+
+    @pytest.mark.parametrize("p,phi", [(0.5, 0.3), (1.0, 0.125),
+                                       (1.5, 0.2), (2.0, 0.25)])
+    def test_valid_sets_across_p(self, p, phi):
+        """The Section 4.4 claim: count-sketch m=O(phi^-p) works for
+        every p in (0, 2], in the general update model."""
+        n, valid = 300, 0
+        for seed in range(6):
+            inst = heavy_hitter_instance(n, p=p, phi=phi, seed=seed)
+            algo = CountSketchHeavyHitters(n, p, phi, seed=seed)
+            vector_to_stream(inst.vector, seed=seed).apply_to(algo)
+            if is_valid_heavy_hitter_set(algo.heavy_hitters(), inst.vector,
+                                         p, phi):
+                valid += 1
+        assert valid >= 5
+
+    def test_empty_vector_reports_empty(self):
+        algo = CountSketchHeavyHitters(100, 1.0, 0.25, seed=1)
+        assert algo.heavy_hitters().size == 0
+
+    def test_handles_negative_heavy_coordinates(self):
+        n = 200
+        algo = CountSketchHeavyHitters(n, 1.0, 0.25, seed=2)
+        vec = np.zeros(n, dtype=np.int64)
+        vec[7] = -1000   # heavy but negative
+        vec[50:60] = 3
+        vector_to_stream(vec, seed=2).apply_to(algo)
+        assert 7 in algo.heavy_hitters().tolist()
+
+    def test_space_scales_with_phi(self):
+        coarse = CountSketchHeavyHitters(1 << 10, 1.0, 0.25)
+        fine = CountSketchHeavyHitters(1 << 10, 1.0, 0.25 / 8)
+        assert fine.space_bits() > 4 * coarse.space_bits()
+
+
+class TestCountMedianHH:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMedianHeavyHitters(100, phi=1.5)
+
+    def test_strict_turnstile_valid_sets(self):
+        n, valid = 300, 0
+        for seed in range(6):
+            inst = heavy_hitter_instance(n, p=1.0, phi=0.125, seed=seed)
+            algo = CountMedianHeavyHitters(n, phi=0.125, seed=seed)
+            vector_to_stream(inst.vector, seed=seed).apply_to(algo)
+            if is_valid_heavy_hitter_set(algo.heavy_hitters(), inst.vector,
+                                         1.0, 0.125):
+                valid += 1
+        assert valid >= 5
+
+    def test_median_mode_runs(self):
+        n = 200
+        inst = heavy_hitter_instance(n, p=1.0, phi=0.2, seed=9)
+        algo = CountMedianHeavyHitters(n, phi=0.2, seed=9, strict=False)
+        vector_to_stream(inst.vector, seed=9).apply_to(algo)
+        assert is_valid_heavy_hitter_set(algo.heavy_hitters(), inst.vector,
+                                         1.0, 0.2)
+
+    def test_empty(self):
+        algo = CountMedianHeavyHitters(50, phi=0.2, seed=1)
+        assert algo.heavy_hitters().size == 0
+
+
+class TestLowerBoundShape:
+    def test_space_matches_phi_power_law(self):
+        """Theorem 9 says Omega(phi^-p log^2 n); the upper bound should
+        track the same power law in phi."""
+        n = 1 << 10
+        bits = {}
+        for phi in (0.5, 0.25, 0.125):
+            bits[phi] = CountSketchHeavyHitters(n, 1.5, phi).space_bits()
+        # halving phi should multiply space by ~2^1.5
+        r1 = bits[0.25] / bits[0.5]
+        r2 = bits[0.125] / bits[0.25]
+        assert 1.8 < r1 < 4.5
+        assert 1.8 < r2 < 4.5

@@ -1,0 +1,144 @@
+"""Cross-module integration tests.
+
+Each scenario exercises several subsystems together the way a
+downstream user would: distributed sketch merging, protocol-style
+sketch shipping, end-to-end item pipelines, and the docstring examples.
+"""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (DuplicateFinder, L0Sampler, LpSampler, PerfectLpSampler,
+                   lp_distribution, total_variation)
+from repro.sketch import AMSSketch, CountSketch, StableSketch
+from repro.streams import (UpdateStream, uniform_signed_vector,
+                           vector_to_stream, zipf_vector)
+
+
+class TestDistributedMerging:
+    """Shard a stream over 'sites', merge sketches, query once."""
+
+    def test_count_sketch_across_shards(self):
+        n, shards = 500, 4
+        vec = zipf_vector(n, scale=2000, seed=1)
+        stream = vector_to_stream(vec, seed=1)
+        sketches = [CountSketch(n, m=15, rows=11, seed=77)
+                    for _ in range(shards)]
+        for pos, (i, u) in enumerate(stream):
+            sketches[pos % shards].update(i, u)
+        merged = sketches[0]
+        for other in sketches[1:]:
+            merged.merge(other)
+        joint = CountSketch(n, m=15, rows=11, seed=77)
+        stream.apply_to(joint)
+        assert np.allclose(merged.table, joint.table)
+
+    def test_norm_sketch_diff_of_two_sites(self):
+        """||x - y||_1 from two independently maintained sketches."""
+        n = 300
+        x = zipf_vector(n, scale=400, seed=2)
+        y = x.copy()
+        y[:50] += 7
+        a = StableSketch(n, 1.0, rows=45, seed=5)
+        b = StableSketch(n, 1.0, rows=45, seed=5)
+        vector_to_stream(x, seed=3).apply_to(a)
+        vector_to_stream(y, seed=4).apply_to(b)
+        a.subtract(b)
+        truth = float(np.abs(x - y).sum())
+        assert a.norm_estimate() == pytest.approx(truth, rel=0.5)
+
+
+class TestSamplerAgainstPerfectReference:
+    def test_head_probabilities_match(self):
+        """LpSampler vs PerfectLpSampler on the same stream: the heavy
+        coordinates' sampling frequencies must agree within noise."""
+        n = 200
+        vec = np.zeros(n, dtype=np.int64)
+        vec[3] = 50
+        vec[90] = 25
+        vec[120:160] = 1
+        stream = vector_to_stream(vec, seed=6)
+        hits = np.zeros(n)
+        trials, successes = 120, 0
+        for t in range(trials):
+            sampler = LpSampler(n, 1.0, eps=0.3, rounds=6, seed=900 + t)
+            stream.apply_to(sampler)
+            result = sampler.sample()
+            if not result.failed:
+                hits[result.index] += 1
+                successes += 1
+        assert successes >= 40
+        emp = hits / successes
+        truth = lp_distribution(vec, 1.0)
+        assert emp[3] == pytest.approx(truth[3], abs=0.17)
+
+    def test_perfect_reference_tv(self):
+        n = 100
+        vec = uniform_signed_vector(n, seed=7)
+        perfect = PerfectLpSampler(n, 1.5, seed=8)
+        vector_to_stream(vec, seed=7).apply_to(perfect)
+        counts = np.zeros(n)
+        for _ in range(3000):
+            counts[perfect.sample().index] += 1
+        assert total_variation(counts / 3000,
+                               lp_distribution(vec, 1.5)) < 0.1
+
+
+class TestSketchShippingPipeline:
+    """The one-way-communication pattern every Section 4 proof uses:
+    Alice's sketch state + Bob's negative updates = sketch of x - y."""
+
+    def test_l0_sampler_as_diff_engine(self):
+        n = 400
+        x = zipf_vector(n, scale=30, seed=9)
+        y = x.copy()
+        changed = [5, 77, 300]
+        for c in changed:
+            y[c] += 3
+        sampler = L0Sampler(n, delta=0.2, seed=10)
+        vector_to_stream(x, seed=9).apply_to(sampler)
+        # "ship" -> continue with -y
+        stream_y = vector_to_stream(y, seed=11).negated()
+        stream_y.apply_to(sampler)
+        result = sampler.sample()
+        assert not result.failed
+        assert result.index in changed
+        assert result.estimate == x[result.index] - y[result.index]
+
+
+class TestEndToEndItemPipeline:
+    def test_chunked_processing_equals_single_shot(self):
+        """Streaming items in arbitrary chunk sizes must not matter."""
+        from repro.streams import duplicate_stream
+
+        n = 96
+        inst = duplicate_stream(n, seed=12)
+        whole = DuplicateFinder(n, delta=0.3, seed=13, sampler_rounds=4)
+        chunked = DuplicateFinder(n, delta=0.3, seed=13, sampler_rounds=4)
+        whole.process_items(inst.items)
+        items = inst.items
+        for start in range(0, len(items), 7):
+            chunked.process_items(items[start:start + 7])
+        rw, rc = whole.result(), chunked.result()
+        assert rw.failed == rc.failed
+        if not rw.failed:
+            assert rw.index == rc.index
+
+
+class TestUpdateStreamAlgebra:
+    def test_concat_negate_roundtrip_through_sketch(self):
+        n = 128
+        vec = uniform_signed_vector(n, seed=14)
+        stream = vector_to_stream(vec, seed=14)
+        ams = AMSSketch(n, groups=5, per_group=4, seed=15)
+        stream.concat(stream.negated()).apply_to(ams)
+        assert ams.l2() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDocstrings:
+    def test_package_docstring_example(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0

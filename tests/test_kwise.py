@@ -1,0 +1,159 @@
+"""Unit tests for the k-wise independent hash families (hashing/kwise.py)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.kwise import (BucketHash, KWiseHash, SignHash, SubsetHash,
+                                 UniformScalarHash, derive_rngs)
+
+
+class TestKWiseHash:
+    def test_deterministic(self, rng):
+        h = KWiseHash(4, rng)
+        keys = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(h(keys), h(keys))
+
+    def test_scalar_and_vector_agree(self, rng):
+        h = KWiseHash(3, rng)
+        keys = np.arange(20, dtype=np.uint64)
+        vec = h(keys)
+        for i, key in enumerate(keys):
+            assert int(h(int(key))) == int(vec[i])
+
+    def test_rejects_k_zero(self, rng):
+        with pytest.raises(ValueError):
+            KWiseHash(0, rng)
+
+    def test_different_rng_states_differ(self):
+        r1, r2 = derive_rngs(1, 2)
+        h1, h2 = KWiseHash(3, r1), KWiseHash(3, r2)
+        keys = np.arange(50, dtype=np.uint64)
+        assert not np.array_equal(h1(keys), h2(keys))
+
+    def test_values_in_field(self, rng):
+        h = KWiseHash(5, rng)
+        vals = h(np.arange(1000, dtype=np.uint64))
+        assert vals.max() < h.field.p
+
+    def test_marginal_uniformity(self):
+        """Mean of hash values over many keys approaches p/2."""
+        (r,) = derive_rngs(7, 1)
+        h = KWiseHash(2, r)
+        vals = h(np.arange(20000, dtype=np.uint64)).astype(np.float64)
+        mean = vals.mean() / float(h.field.p)
+        assert 0.45 < mean < 0.55
+
+    def test_pairwise_independence_statistic(self):
+        """Over the random choice of function, h(a) and h(b) for fixed
+        distinct keys are independent — correlation across many sampled
+        functions is near zero.  (Within ONE function the values are
+        affinely related; independence is a property of the family.)"""
+        rng = np.random.default_rng(11)
+        keys = np.array([3, 77777], dtype=np.uint64)
+        pairs = np.empty((3000, 2), dtype=np.float64)
+        for t in range(pairs.shape[0]):
+            h = KWiseHash(2, rng)
+            pairs[t] = h(keys).astype(np.float64)
+        corr = np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1]
+        assert abs(corr) < 0.06
+
+    def test_space_bits_scales_with_k(self, rng):
+        h2 = KWiseHash(2, rng)
+        h8 = KWiseHash(8, rng)
+        assert h8.space_bits() == 4 * h2.space_bits()
+
+
+class TestBucketHash:
+    def test_range(self, rng):
+        h = BucketHash(2, 37, rng)
+        vals = h(np.arange(5000, dtype=np.uint64))
+        assert vals.min() >= 0 and vals.max() < 37
+
+    def test_rejects_zero_buckets(self, rng):
+        with pytest.raises(ValueError):
+            BucketHash(2, 0, rng)
+
+    def test_roughly_balanced(self):
+        (r,) = derive_rngs(3, 1)
+        h = BucketHash(2, 16, r)
+        vals = h(np.arange(32000, dtype=np.uint64))
+        counts = np.bincount(vals.astype(np.int64), minlength=16)
+        assert counts.min() > 1500 and counts.max() < 2500
+
+
+class TestSignHash:
+    def test_values_are_pm1(self, rng):
+        g = SignHash(4, rng)
+        vals = g(np.arange(1000, dtype=np.uint64))
+        assert set(np.unique(vals).tolist()) <= {-1, 1}
+
+    def test_roughly_balanced(self):
+        (r,) = derive_rngs(5, 1)
+        g = SignHash(4, r)
+        vals = g(np.arange(20000, dtype=np.uint64)).astype(np.float64)
+        assert abs(vals.mean()) < 0.03
+
+    def test_fourwise_products_balanced(self):
+        """E[g(a)g(b)g(c)g(d)] ~ 0 for distinct keys (4-wise property)."""
+        (r,) = derive_rngs(9, 1)
+        g = SignHash(4, r)
+        keys = np.arange(40000, dtype=np.uint64)
+        prod = (g(keys).astype(np.float64) * g(keys + np.uint64(1))
+                * g(keys + np.uint64(2)) * g(keys + np.uint64(3)))
+        assert abs(prod.mean()) < 0.05
+
+
+class TestUniformScalarHash:
+    def test_range_is_open_zero(self, rng):
+        t = UniformScalarHash(6, rng)
+        vals = t(np.arange(10000, dtype=np.uint64))
+        assert vals.min() > 0.0
+        assert vals.max() <= 1.0
+
+    def test_mean_near_half(self):
+        (r,) = derive_rngs(13, 1)
+        t = UniformScalarHash(6, r)
+        vals = t(np.arange(40000, dtype=np.uint64))
+        assert abs(vals.mean() - 0.5) < 0.01
+
+    def test_inverse_tail_probability(self):
+        """Pr[1/t >= T] = 1/T, the key precision-sampling identity."""
+        (r,) = derive_rngs(17, 1)
+        t = UniformScalarHash(6, r)
+        vals = t(np.arange(100000, dtype=np.uint64))
+        for threshold in (2.0, 10.0, 50.0):
+            rate = float((1.0 / vals >= threshold).mean())
+            assert rate == pytest.approx(1.0 / threshold, rel=0.2)
+
+
+class TestSubsetHash:
+    def test_level_zero_includes_everything_at_top(self, rng):
+        s = SubsetHash(2, rng)
+        member = s.level_member(np.arange(100, dtype=np.uint64), 10, 1024)
+        assert member.all()
+
+    def test_level_sizes_halve(self):
+        (r,) = derive_rngs(19, 1)
+        s = SubsetHash(2, r)
+        universe = 4096
+        keys = np.arange(universe, dtype=np.uint64)
+        sizes = [int(s.level_member(keys, level, universe).sum())
+                 for level in range(13)]
+        # level 12 = everything; each step down halves in expectation
+        assert sizes[12] == universe
+        for level in range(6, 12):
+            expected = universe * 2.0 ** (level - 12)
+            assert sizes[level] == pytest.approx(expected, rel=0.5)
+
+
+class TestDeriveRngs:
+    def test_reproducible(self):
+        a = derive_rngs(42, 3)
+        b = derive_rngs(42, 3)
+        for ra, rb in zip(a, b):
+            assert ra.integers(1 << 30) == rb.integers(1 << 30)
+
+    def test_accepts_seedsequence(self):
+        seq = np.random.SeedSequence(7)
+        rngs = derive_rngs(seq, 2)
+        assert len(rngs) == 2

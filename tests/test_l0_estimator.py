@@ -1,0 +1,106 @@
+"""Unit tests for the rough turnstile L0 estimator (sketch/l0_estimator.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.l0_estimator import L0Estimator, _pow_many
+from repro.hashing.field import DEFAULT_FIELD
+from repro.streams import sparse_vector, vector_to_stream
+
+from conftest import apply_vector
+
+
+class TestPowMany:
+    def test_matches_python_pow(self):
+        f = DEFAULT_FIELD
+        base = np.uint64(123456)
+        exps = np.array([0, 1, 2, 63, 1000, 999999], dtype=np.int64)
+        out = _pow_many(f, base, exps)
+        for e, v in zip(exps.tolist(), out.tolist()):
+            assert int(v) == pow(int(base), e, int(f.p))
+
+    def test_empty_input(self):
+        out = _pow_many(DEFAULT_FIELD, np.uint64(3),
+                        np.array([], dtype=np.int64))
+        assert out.size == 0
+
+
+class TestZeroDetection:
+    def test_empty_sketch_is_zero(self):
+        est = L0Estimator(256, seed=1)
+        assert est.is_zero_vector()
+        assert est.estimate() == 0.0
+
+    def test_cancellation_detected_as_zero(self):
+        est = L0Estimator(256, seed=2)
+        est.update(7, 5)
+        est.update(7, -5)
+        assert est.is_zero_vector()
+
+    def test_nonzero_detected(self):
+        est = L0Estimator(256, seed=3)
+        est.update(7, 1)
+        assert not est.is_zero_vector()
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("support", [1, 4, 16, 64, 200])
+    def test_constant_factor(self, support):
+        n = 1024
+        vec = sparse_vector(n, support, seed=support)
+        est = apply_vector(L0Estimator(n, reps=15, seed=support), vec,
+                           seed=support)
+        value = est.estimate()
+        assert value >= support / 8.0
+        assert value <= support * 8.0
+
+    def test_insensitive_to_magnitudes(self):
+        """L0 only counts the support; huge values must not matter."""
+        n = 512
+        a = L0Estimator(n, reps=15, seed=7)
+        b = L0Estimator(n, reps=15, seed=7)
+        positions = np.arange(0, 50, dtype=np.int64)
+        a.update_many(positions, np.ones(50, dtype=np.int64))
+        b.update_many(positions, np.full(50, 10**6, dtype=np.int64))
+        assert a.estimate() == b.estimate()
+
+
+class TestLinearity:
+    def test_subtract_equal_vectors_is_zero(self):
+        n = 512
+        vec = sparse_vector(n, 30, seed=9)
+        a = L0Estimator(n, seed=11)
+        b = L0Estimator(n, seed=11)
+        apply_vector(a, vec, seed=1)
+        apply_vector(b, vec, seed=2)
+        a.subtract(b)
+        assert a.is_zero_vector()
+
+    def test_difference_support(self):
+        """Sketching x and subtracting y estimates |x - y|_0 — the
+        two-round UR protocol's first message."""
+        n = 512
+        x = sparse_vector(n, 40, seed=13)
+        y = x.copy()
+        changed = np.flatnonzero(x)[:10]
+        y[changed] += 1
+        a = L0Estimator(n, seed=15)
+        b = L0Estimator(n, seed=15)
+        apply_vector(a, x, seed=1)
+        apply_vector(b, y, seed=2)
+        a.subtract(b)
+        value = a.estimate()
+        assert 10 / 8.0 <= value <= 10 * 8.0
+
+    def test_merge_incompatible_rejected(self):
+        a = L0Estimator(100, seed=1)
+        b = L0Estimator(100, seed=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSpace:
+    def test_counter_grid(self):
+        est = L0Estimator(1 << 10, reps=9)
+        report = est.space_report()
+        assert report.counter_count == 9 * est.levels

@@ -1,0 +1,69 @@
+"""Tests for L0Sampler merge/subtract (multi-party reconciliation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler
+from repro.streams import sparse_vector, vector_to_stream
+
+
+class TestMerge:
+    def test_merge_equals_joint_stream(self):
+        n = 256
+        a_vec = sparse_vector(n, 10, seed=1)
+        b_vec = sparse_vector(n, 10, seed=2)
+        a = L0Sampler(n, delta=0.2, seed=9)
+        b = L0Sampler(n, delta=0.2, seed=9)
+        joint = L0Sampler(n, delta=0.2, seed=9)
+        vector_to_stream(a_vec, seed=1).apply_to(a)
+        vector_to_stream(b_vec, seed=2).apply_to(b)
+        vector_to_stream(a_vec, seed=3).apply_to(joint)
+        vector_to_stream(b_vec, seed=4).apply_to(joint)
+        a.merge(b)
+        ra, rj = a.sample(), joint.sample()
+        assert ra.failed == rj.failed
+        if not ra.failed:
+            assert ra.index == rj.index
+            assert ra.estimate == rj.estimate
+
+    def test_three_way_union_support(self):
+        n = 256
+        shards = [sparse_vector(n, 6, seed=s) for s in (3, 4, 5)]
+        union = sum(shards)
+        samplers = [L0Sampler(n, delta=0.2, seed=11) for _ in shards]
+        for sampler, shard in zip(samplers, shards):
+            vector_to_stream(shard, seed=7).apply_to(sampler)
+        root = samplers[0]
+        root.merge(samplers[1])
+        root.merge(samplers[2])
+        result = root.sample()
+        assert not result.failed
+        assert union[result.index] != 0
+        assert result.estimate == union[result.index]
+
+    def test_subtract_finds_difference(self):
+        n = 256
+        x = sparse_vector(n, 12, seed=6)
+        y = x.copy()
+        y[np.flatnonzero(x)[0]] += 5
+        a = L0Sampler(n, delta=0.2, seed=13)
+        b = L0Sampler(n, delta=0.2, seed=13)
+        vector_to_stream(x, seed=8).apply_to(a)
+        vector_to_stream(y, seed=9).apply_to(b)
+        a.subtract(b)
+        result = a.sample()
+        assert not result.failed
+        assert result.index == int(np.flatnonzero(x)[0])
+        assert result.estimate == -5
+
+    def test_mismatched_seed_rejected(self):
+        a = L0Sampler(64, seed=1)
+        b = L0Sampler(64, seed=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_mismatched_universe_rejected(self):
+        a = L0Sampler(64, seed=1)
+        b = L0Sampler(128, seed=1)
+        with pytest.raises(ValueError):
+            a.subtract(b)

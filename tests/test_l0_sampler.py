@@ -1,0 +1,134 @@
+"""Tests for the Theorem 2 L0-sampler (core/l0_sampler.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler
+from repro.streams import sparse_vector, vector_to_stream
+
+from conftest import empirical_distribution
+
+
+def run_samplers(vector, trials, delta=0.25, mode="kwise", seed_base=0):
+    stream = vector_to_stream(vector, seed=77)
+    results = []
+    for t in range(trials):
+        sampler = L0Sampler(vector.size, delta=delta, seed=seed_base + t,
+                            mode=mode)
+        stream.apply_to(sampler)
+        results.append(sampler.sample())
+    return results
+
+
+class TestValidation:
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            L0Sampler(100, delta=0.0)
+        with pytest.raises(ValueError):
+            L0Sampler(100, delta=1.0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            L0Sampler(100, mode="oracle")
+
+    def test_sparsity_follows_delta(self):
+        loose = L0Sampler(100, delta=0.5)
+        tight = L0Sampler(100, delta=0.01)
+        assert tight.sparsity > loose.sparsity
+
+
+class TestCorrectness:
+    def test_zero_vector_fails(self):
+        sampler = L0Sampler(128, seed=1)
+        assert sampler.sample().failed
+
+    def test_cancellation_fails(self):
+        sampler = L0Sampler(128, seed=2)
+        sampler.update(3, 5)
+        sampler.update(3, -5)
+        assert sampler.sample().failed
+
+    def test_single_coordinate(self):
+        sampler = L0Sampler(128, seed=3)
+        sampler.update(42, -9)
+        result = sampler.sample()
+        assert not result.failed
+        assert result.index == 42 and result.estimate == -9
+
+    @pytest.mark.parametrize("support", [2, 10, 50])
+    def test_samples_land_in_support_with_exact_values(self, support):
+        n = 256
+        vec = sparse_vector(n, support, seed=support)
+        results = run_samplers(vec, trials=40, seed_base=support * 100)
+        hits = [r for r in results if not r.failed]
+        assert len(hits) >= 30
+        for r in hits:
+            assert vec[r.index] != 0
+            assert r.estimate == vec[r.index]  # ZERO relative error
+
+    def test_failure_rate_below_delta(self):
+        n = 512
+        vec = sparse_vector(n, 100, seed=5)
+        results = run_samplers(vec, trials=60, delta=0.2, seed_base=900)
+        failure_rate = sum(r.failed for r in results) / len(results)
+        assert failure_rate <= 0.2 + 0.1  # delta plus sampling slack
+
+
+class TestUniformity:
+    def test_small_support_uniform(self):
+        """|J| <= s: recovery is exact, choice must be uniform."""
+        n = 256
+        vec = np.zeros(n, dtype=np.int64)
+        support = [3, 50, 200]
+        for i in support:
+            vec[i] = 1
+        results = run_samplers(vec, trials=240, seed_base=111)
+        emp, successes = empirical_distribution(results, n)
+        assert successes >= 200
+        for i in support:
+            assert emp[i] == pytest.approx(1 / 3, abs=0.12)
+
+    def test_large_support_roughly_uniform(self):
+        n = 512
+        vec = sparse_vector(n, 120, seed=7)
+        vec[vec != 0] = np.abs(vec[vec != 0])  # magnitudes irrelevant
+        vec[np.flatnonzero(vec)[:5]] = 10**6   # huge values, same L0 law
+        results = run_samplers(vec, trials=150, seed_base=222)
+        emp, successes = empirical_distribution(results, n)
+        assert successes >= 100
+        heavy_mass = emp[np.flatnonzero(vec)[:5]].sum()
+        # under uniform support sampling those 5 get ~5/120 of the mass
+        assert heavy_mass <= 0.25
+
+
+class TestFullSupportRecovery:
+    def test_exact_support_when_sparse(self):
+        n = 128
+        vec = sparse_vector(n, 4, seed=9)
+        sampler = L0Sampler(n, delta=0.1, seed=10)
+        vector_to_stream(vec, seed=1).apply_to(sampler)
+        support = sampler.recover_full_support()
+        assert support is not None
+        assert set(support.tolist()) == set(np.flatnonzero(vec).tolist())
+
+    def test_none_when_dense(self):
+        n = 128
+        vec = sparse_vector(n, 64, seed=11)
+        sampler = L0Sampler(n, delta=0.5, seed=12)
+        vector_to_stream(vec, seed=2).apply_to(sampler)
+        assert sampler.recover_full_support() is None
+
+
+class TestSpace:
+    def test_space_scales_log_squared(self):
+        small = L0Sampler(1 << 8, delta=0.25, seed=1)
+        large = L0Sampler(1 << 16, delta=0.25, seed=1)
+        ratio = large.space_report().counter_total \
+            / small.space_report().counter_total
+        assert 2.5 < ratio < 6.5
+
+    def test_nisan_seed_is_log_squared(self):
+        sampler = L0Sampler(1 << 10, delta=0.25, seed=1, mode="nisan")
+        seed_bits = sampler.space_report().seed_total
+        # (2 * 10 + 1) * 61 for the PRG plus recovery fingerprints
+        assert seed_bits >= (2 * 10 + 1) * 61

@@ -1,0 +1,76 @@
+"""Tests for the LinearSketch base machinery (sketch/linear.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import AMSSketch, CountSketch
+from repro.sketch.linear import LinearSketch
+
+
+class TestSketchVector:
+    def test_dense_form(self):
+        cs = CountSketch(50, m=4, rows=5, seed=1)
+        vec = np.zeros(50)
+        vec[3] = 7
+        cs.sketch_vector(vector=vec)
+        assert cs.estimate(3) == pytest.approx(7.0)
+
+    def test_sparse_form(self):
+        cs = CountSketch(50, m=4, rows=5, seed=1)
+        cs.sketch_vector(indices=np.array([3]), values=np.array([7.0]))
+        assert cs.estimate(3) == pytest.approx(7.0)
+
+    def test_both_forms_agree(self):
+        a = CountSketch(50, m=4, rows=5, seed=2)
+        b = CountSketch(50, m=4, rows=5, seed=2)
+        vec = np.zeros(50)
+        vec[[1, 8, 40]] = [2, -5, 9]
+        a.sketch_vector(vector=vec)
+        b.sketch_vector(indices=np.array([1, 8, 40]),
+                        values=np.array([2.0, -5.0, 9.0]))
+        assert np.allclose(a.table, b.table)
+
+    def test_requires_an_argument(self):
+        cs = CountSketch(50, m=4, rows=5, seed=1)
+        with pytest.raises(ValueError):
+            cs.sketch_vector()
+
+    def test_empty_vector_is_noop(self):
+        cs = CountSketch(50, m=4, rows=5, seed=1)
+        cs.sketch_vector(vector=np.zeros(50))
+        assert not cs.table.any()
+
+
+class TestCrossTypeSafety:
+    def test_merge_different_types_rejected(self):
+        cs = CountSketch(50, m=4, rows=5, seed=1)
+        ams = AMSSketch(50, groups=4, per_group=5, seed=1)
+        with pytest.raises(ValueError):
+            cs.merge(ams)
+
+    def test_merge_different_universe_rejected(self):
+        a = CountSketch(50, m=4, rows=5, seed=1)
+        b = CountSketch(51, m=4, rows=5, seed=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestAbstractContract:
+    def test_base_update_many_is_abstract(self):
+        sketch = LinearSketch()
+        with pytest.raises(NotImplementedError):
+            sketch.update_many([1], [1])
+
+    def test_single_update_delegates(self):
+        calls = []
+
+        class Probe(LinearSketch):
+            universe = 10
+            seed = 0
+
+            def update_many(self, indices, deltas):
+                calls.append((list(np.asarray(indices)),
+                              list(np.asarray(deltas))))
+
+        Probe().update(4, -2)
+        assert calls == [([4], [-2])]

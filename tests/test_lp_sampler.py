@@ -1,0 +1,183 @@
+"""Tests for the Figure 1 precision Lp-sampler (core/lp_sampler.py).
+
+These are the E1/E2 acceptance tests in miniature: the benchmarks in
+benchmarks/ run the same measurements at larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (L1Sampler, LpSampler, LpSamplerRound, lp_distribution)
+from repro.streams import (pm1_vector, uniform_signed_vector, vector_to_stream,
+                           zipf_vector)
+
+from conftest import empirical_distribution
+
+
+def run_rounds(vector, p, eps, trials, seed_base=0):
+    stream = vector_to_stream(vector, seed=99)
+    results = []
+    for t in range(trials):
+        sampler = LpSamplerRound(vector.size, p, eps, seed=seed_base + t)
+        stream.apply_to(sampler)
+        results.append(sampler.sample())
+    return results
+
+
+class TestValidation:
+    def test_rejects_p_two(self):
+        with pytest.raises(ValueError):
+            LpSamplerRound(100, 2.0, 0.5)
+
+    def test_rejects_p_zero(self):
+        with pytest.raises(ValueError):
+            LpSamplerRound(100, 0.0, 0.5)
+
+    def test_paper_parameters_instantiated(self):
+        rnd = LpSamplerRound(1024, 1.5, 0.25, seed=1)
+        assert rnd.k == 20           # 10 * ceil(1/0.5)
+        assert rnd.beta == pytest.approx(0.25 ** (1 - 1 / 1.5))
+
+
+class TestZeroVector:
+    def test_round_fails_on_zero_vector(self):
+        rnd = LpSamplerRound(128, 1.0, 0.5, seed=1)
+        result = rnd.sample()
+        assert result.failed
+
+    def test_cancelled_updates_fail(self):
+        rnd = LpSamplerRound(128, 1.0, 0.5, seed=2)
+        rnd.update(5, 10)
+        rnd.update(5, -10)
+        result = rnd.sample()
+        assert result.failed
+
+
+class TestSuccessRate:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5])
+    def test_round_success_is_theta_eps(self, p):
+        """One round succeeds with probability in ~[eps/4, 2 eps]."""
+        eps = 0.25
+        vec = zipf_vector(400, scale=500, seed=3)
+        results = run_rounds(vec, p, eps, trials=150, seed_base=1000)
+        rate = sum(not r.failed for r in results) / len(results)
+        assert eps / 8 <= rate <= 2.5 * eps
+
+    def test_amplified_sampler_rarely_fails(self):
+        vec = zipf_vector(300, scale=500, seed=4)
+        stream = vector_to_stream(vec, seed=5)
+        failures = 0
+        for seed in range(12):
+            sampler = LpSampler(300, 1.0, eps=0.3, delta=0.1, seed=seed)
+            stream.apply_to(sampler)
+            failures += sampler.sample().failed
+        assert failures <= 2
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5])
+    def test_heavy_coordinate_frequency(self, p):
+        """The dominant coordinate must be sampled at ~ its Lp weight."""
+        n = 300
+        vec = np.zeros(n, dtype=np.int64)
+        vec[7] = 60          # dominant
+        vec[50:150] = 2      # diffuse mass
+        results = run_rounds(vec, p, eps=0.3, trials=300, seed_base=2000)
+        emp, successes = empirical_distribution(results, n)
+        assert successes > 15
+        truth = lp_distribution(vec, p)
+        assert emp[7] == pytest.approx(truth[7], abs=0.15)
+
+    def test_supports_negative_coordinates(self):
+        """|x_i| drives the distribution; signs must not matter."""
+        n = 200
+        vec = uniform_signed_vector(n, low=-30, high=30, seed=6)
+        results = run_rounds(vec, 1.0, eps=0.3, trials=200, seed_base=3000)
+        emp, successes = empirical_distribution(results, n)
+        assert successes > 10
+        # sampled coordinates must actually be non-zero ones
+        sampled = np.flatnonzero(emp)
+        assert np.all(vec[sampled] != 0)
+
+    def test_pm1_vector_sampling(self):
+        """The Theorem 8 regime: 0/+-1 vectors, p irrelevant."""
+        n = 256
+        vec = pm1_vector(n, zero_fraction=0.9, seed=7)
+        results = run_rounds(vec, 1.0, eps=0.3, trials=200, seed_base=4000)
+        support = set(np.flatnonzero(vec).tolist())
+        for r in results:
+            if not r.failed:
+                assert r.index in support
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5])
+    def test_relative_error_within_eps(self, p):
+        eps = 0.25
+        vec = zipf_vector(400, scale=800, seed=8)
+        results = run_rounds(vec, p, eps, trials=200, seed_base=5000)
+        errors = [abs(r.estimate - vec[r.index]) / abs(vec[r.index])
+                  for r in results if not r.failed and vec[r.index] != 0]
+        assert len(errors) > 10
+        # Lemma 4: relative error <= eps with high probability
+        assert np.mean([e <= eps for e in errors]) >= 0.9
+
+    def test_estimate_sign_matches(self):
+        n = 200
+        vec = uniform_signed_vector(n, low=-50, high=50, seed=9)
+        results = run_rounds(vec, 1.0, eps=0.25, trials=200, seed_base=6000)
+        agree = [np.sign(r.estimate) == np.sign(vec[r.index])
+                 for r in results if not r.failed and vec[r.index] != 0]
+        assert len(agree) > 10
+        assert np.mean(agree) >= 0.95
+
+
+class TestDiagnostics:
+    def test_result_carries_recovery_internals(self):
+        vec = zipf_vector(200, scale=300, seed=10)
+        stream = vector_to_stream(vec, seed=11)
+        rnd = LpSamplerRound(200, 1.0, 0.5, seed=3)
+        stream.apply_to(rnd)
+        result = rnd.sample()
+        for key in ("r", "s", "z_star", "tail_threshold",
+                    "weight_threshold"):
+            assert key in result.diagnostics
+
+    def test_lemma3_event_rate(self):
+        """Pr[s > beta sqrt(m) r] = O(eps): the tail-abort must be rare."""
+        eps = 0.25
+        vec = zipf_vector(300, scale=500, seed=12)
+        results = run_rounds(vec, 1.5, eps, trials=150, seed_base=7000)
+        aborts = sum(r.reason == "tail-too-heavy" for r in results)
+        assert aborts / len(results) <= 4 * eps
+
+
+class TestL1Convenience:
+    def test_l1_is_p1(self):
+        sampler = L1Sampler(100, eps=0.5, rounds=2, seed=1)
+        assert sampler.p == 1.0
+
+    def test_rounds_override(self):
+        sampler = LpSampler(100, 1.0, eps=0.5, rounds=5, seed=1)
+        assert sampler.rounds == 5
+
+
+class TestSpace:
+    def test_space_scales_log_squared(self):
+        """Quadrupling log n should ~quadruple counter bits (log^2 law)."""
+        small = LpSamplerRound(1 << 8, 1.5, 0.25, seed=1)
+        large = LpSamplerRound(1 << 16, 1.5, 0.25, seed=1)
+        ratio = large.space_report().counter_total \
+            / small.space_report().counter_total
+        assert 2.5 < ratio < 6.5  # (16/8)^2 = 4 up to rounding
+
+    def test_space_grows_with_inverse_eps_for_large_p(self):
+        coarse = LpSamplerRound(1 << 10, 1.5, 0.5, seed=1)
+        fine = LpSamplerRound(1 << 10, 1.5, 0.5 / 16, seed=1)
+        assert fine.space_bits() > 2.5 * coarse.space_bits()
+
+    def test_eps_free_for_small_p(self):
+        coarse = LpSamplerRound(1 << 10, 0.5, 0.5, seed=1)
+        fine = LpSamplerRound(1 << 10, 0.5, 0.05, seed=1)
+        assert fine.space_report().counter_total \
+            == coarse.space_report().counter_total

@@ -1,0 +1,82 @@
+"""Unit tests for the Figure 1 parameter formulas (core/params.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import (DEFAULT_CONFIG, beta, count_sketch_rows,
+                               independence_k, repetitions, sketch_size_m)
+
+
+class TestIndependence:
+    def test_paper_formula_p_half(self):
+        # k = 10 * ceil(1/|0.5 - 1|) = 10 * 2 = 20
+        assert independence_k(0.5, 0.1) == 20
+
+    def test_paper_formula_p_15(self):
+        # k = 10 * ceil(1/0.5) = 20
+        assert independence_k(1.5, 0.1) == 20
+
+    def test_k_grows_near_one(self):
+        assert independence_k(1.1, 0.1) > independence_k(1.5, 0.1)
+
+    def test_p1_uses_log_eps(self):
+        assert independence_k(1.0, 1 / 16) >= 2 * 4  # k_const_p1 * log2(16)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            independence_k(2.0, 0.1)
+        with pytest.raises(ValueError):
+            independence_k(0.0, 0.1)
+
+
+class TestSketchSize:
+    def test_p_below_one_is_constant_in_eps(self):
+        assert sketch_size_m(0.5, 0.5) == sketch_size_m(0.5, 0.01)
+
+    def test_p_above_one_grows_as_eps_power(self):
+        m_small = sketch_size_m(1.5, 0.5)
+        m_large = sketch_size_m(1.5, 0.5 / 16)
+        # eps^-(p-1) = eps^-0.5: 16x smaller eps => 4x larger m
+        assert m_large == pytest.approx(4 * m_small, rel=0.2)
+
+    def test_p1_grows_logarithmically(self):
+        m1 = sketch_size_m(1.0, 0.5)
+        m2 = sketch_size_m(1.0, 0.5**8)
+        assert m2 == pytest.approx(8 * m1, rel=0.2)
+
+
+class TestBeta:
+    def test_p1_is_one(self):
+        assert beta(1.0, 0.3) == pytest.approx(1.0)
+
+    def test_relative_error_identity(self):
+        """beta * eps^(1/p) = eps for every p — the Lemma 4 bookkeeping."""
+        for p in (0.3, 0.5, 1.0, 1.4, 1.9):
+            eps = 0.2
+            assert beta(p, eps) * eps ** (1.0 / p) == pytest.approx(eps)
+
+    def test_beta_above_one_for_small_p(self):
+        assert beta(0.5, 0.2) > 1.0
+
+    def test_beta_below_one_for_large_p(self):
+        assert beta(1.5, 0.2) < 1.0
+
+
+class TestRowsAndRepetitions:
+    def test_rows_logarithmic(self):
+        assert count_sketch_rows(1 << 20) \
+            == pytest.approx(2 * 20, abs=2)
+
+    def test_rows_odd(self):
+        for n in (100, 1000, 10**6):
+            assert count_sketch_rows(n) % 2 == 1
+
+    def test_repetitions_scale(self):
+        assert repetitions(0.25, 0.5) < repetitions(0.25, 0.01)
+        assert repetitions(0.5, 0.1) < repetitions(0.05, 0.1)
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            repetitions(0.0, 0.5)
+        with pytest.raises(ValueError):
+            repetitions(0.2, 1.5)

@@ -1,0 +1,96 @@
+"""Tests for priority sampling (core/priority.py, related-work [11])."""
+
+import numpy as np
+import pytest
+
+from repro.core.priority import PrioritySampler
+
+
+class TestBasics:
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            PrioritySampler(100, k=0)
+
+    def test_rejects_negative_updates(self):
+        sampler = PrioritySampler(100, k=3, seed=1)
+        with pytest.raises(ValueError):
+            sampler.update(5, -1)
+        with pytest.raises(ValueError):
+            sampler.update(5, 0)
+
+    def test_keeps_at_most_k_plus_one(self):
+        sampler = PrioritySampler(1000, k=5, seed=2)
+        for i in range(100):
+            sampler.update(i, 1 + i % 7)
+        assert len(sampler._weights) <= 6
+        assert len(sampler.sample()) == 5
+
+    def test_small_streams_kept_exactly(self):
+        sampler = PrioritySampler(100, k=10, seed=3)
+        sampler.update(4, 2.0)
+        sampler.update(9, 5.0)
+        kept = dict(sampler.sample())
+        assert kept == {4: 2.0, 9: 5.0}
+        assert sampler.threshold() == 0.0
+
+    def test_repeated_items_accumulate(self):
+        sampler = PrioritySampler(100, k=4, seed=4)
+        sampler.update(7, 3.0)
+        sampler.update(7, 4.0)
+        assert dict(sampler.sample())[7] == pytest.approx(7.0)
+
+
+class TestSubsetSums:
+    def test_exact_when_everything_fits(self):
+        sampler = PrioritySampler(100, k=10, seed=5)
+        weights = {1: 4.0, 2: 6.0, 3: 10.0}
+        for i, w in weights.items():
+            sampler.update(i, w)
+        assert sampler.subset_sum_estimate([1, 2]) == pytest.approx(10.0)
+        assert sampler.subset_sum_estimate([3]) == pytest.approx(10.0)
+        assert sampler.subset_sum_estimate([50]) == 0.0
+
+    def test_unbiased_over_randomness(self):
+        """E[W_hat(S)] = W(S): average many independent samplers."""
+        rng = np.random.default_rng(6)
+        n = 60
+        weights = rng.integers(1, 20, size=n).astype(float)
+        subset = list(range(0, n, 3))
+        truth = float(weights[subset].sum())
+        estimates = []
+        for seed in range(400):
+            sampler = PrioritySampler(n, k=12, seed=seed)
+            order = rng.permutation(n)
+            for i in order:
+                sampler.update(int(i), float(weights[i]))
+            estimates.append(sampler.subset_sum_estimate(subset))
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(truth, rel=0.1)
+
+    def test_heavy_items_always_kept(self):
+        """An item with most of the mass has the top priority whp."""
+        kept_count = 0
+        for seed in range(30):
+            sampler = PrioritySampler(200, k=5, seed=seed)
+            sampler.update(7, 10_000.0)
+            for i in range(50):
+                sampler.update(100 + i, 1.0)
+            if 7 in dict(sampler.sample()):
+                kept_count += 1
+        assert kept_count >= 28
+
+
+class TestRelationToPrecisionSampling:
+    def test_priorities_are_the_figure1_scaling(self):
+        """q_i = w_i / u_i is z_i = x_i / t_i at p = 1 — the lineage the
+        paper's related-work section draws."""
+        sampler = PrioritySampler(100, k=3, seed=7)
+        sampler.update(5, 10.0)
+        u = float(sampler._rng.uniform(np.array([5], np.uint64))[0])
+        assert sampler._priority(5, 10.0) == pytest.approx(10.0 / u)
+
+    def test_space_constant_in_universe(self):
+        small = PrioritySampler(100, k=8)
+        large = PrioritySampler(10**6, k=8)
+        assert small.space_report().counter_count \
+            == large.space_report().counter_count

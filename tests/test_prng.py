@@ -1,0 +1,105 @@
+"""Unit tests for the counter-based RNG (hashing/prng.py)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.prng import CounterRNG, splitmix64
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(keys), splitmix64(keys))
+
+    def test_distinct_inputs_distinct_outputs(self):
+        out = splitmix64(np.arange(10000, dtype=np.uint64))
+        assert np.unique(out).size == 10000
+
+    def test_bit_balance(self):
+        out = splitmix64(np.arange(20000, dtype=np.uint64))
+        for bit in (0, 17, 43, 63):
+            ones = ((out >> np.uint64(bit)) & np.uint64(1)).mean()
+            assert abs(float(ones) - 0.5) < 0.02
+
+
+class TestCounterRNG:
+    def test_same_seed_same_stream(self):
+        a, b = CounterRNG(5), CounterRNG(5)
+        keys = np.arange(64, dtype=np.uint64)
+        assert np.array_equal(a.raw(keys, 3), b.raw(keys, 3))
+
+    def test_streams_are_distinct(self):
+        rng = CounterRNG(5)
+        keys = np.arange(64, dtype=np.uint64)
+        assert not np.array_equal(rng.raw(keys, 0), rng.raw(keys, 1))
+
+    def test_seeds_are_distinct(self):
+        keys = np.arange(64, dtype=np.uint64)
+        assert not np.array_equal(CounterRNG(1).raw(keys),
+                                  CounterRNG(2).raw(keys))
+
+    def test_uniform_in_open_unit_interval(self):
+        rng = CounterRNG(9)
+        u = rng.uniform(np.arange(50000, dtype=np.uint64))
+        assert u.min() > 0.0 and u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.01
+
+    def test_gaussian_moments(self):
+        rng = CounterRNG(11)
+        g = rng.gaussian(np.arange(100000, dtype=np.uint64))
+        assert abs(g.mean()) < 0.02
+        assert g.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_cauchy_median_absolute_is_one(self):
+        rng = CounterRNG(13)
+        c = rng.cauchy(np.arange(100000, dtype=np.uint64))
+        assert np.median(np.abs(c)) == pytest.approx(1.0, rel=0.05)
+
+    def test_sign_balance(self):
+        rng = CounterRNG(15)
+        s = rng.sign(np.arange(50000, dtype=np.uint64)).astype(np.float64)
+        assert abs(s.mean()) < 0.02
+
+
+class TestStable:
+    def test_invalid_p_rejected(self):
+        rng = CounterRNG(1)
+        keys = np.arange(4, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            rng.stable(0.0, keys)
+        with pytest.raises(ValueError):
+            rng.stable(2.5, keys)
+
+    def test_p1_is_cauchy(self):
+        rng = CounterRNG(17)
+        keys = np.arange(1000, dtype=np.uint64)
+        assert np.array_equal(rng.stable(1.0, keys, 5), rng.cauchy(keys, 5))
+
+    def test_p2_matches_scaled_gaussian(self):
+        rng = CounterRNG(19)
+        keys = np.arange(1000, dtype=np.uint64)
+        assert np.allclose(rng.stable(2.0, keys, 5),
+                           np.sqrt(2.0) * rng.gaussian(keys, 5))
+
+    @pytest.mark.parametrize("p", [0.5, 1.2, 1.5, 1.8])
+    def test_stability_property(self, p):
+        """X1 + X2 for iid p-stable is distributed as 2^(1/p) X.
+
+        Checked through the median of absolute values, which scales by
+        exactly 2^(1/p) under the stability property.
+        """
+        rng = CounterRNG(23)
+        keys = np.arange(200000, dtype=np.uint64)
+        x1 = rng.stable(p, keys, 0)
+        x2 = rng.stable(p, keys, 1)
+        med_sum = np.median(np.abs(x1 + x2))
+        med_one = np.median(np.abs(x1))
+        assert med_sum / med_one == pytest.approx(2.0 ** (1.0 / p), rel=0.05)
+
+    def test_heavy_tail_for_small_p(self):
+        """p = 0.5 variates have far heavier tails than p = 1.5 ones."""
+        rng = CounterRNG(29)
+        keys = np.arange(100000, dtype=np.uint64)
+        tail_half = float((np.abs(rng.stable(0.5, keys, 0)) > 100).mean())
+        tail_heavy = float((np.abs(rng.stable(1.5, keys, 0)) > 100).mean())
+        assert tail_half > 5 * tail_heavy

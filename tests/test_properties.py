@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These rotate over arbitrary inputs what the unit tests pin with fixed
+seeds: field axioms, sketch linearity, exact recovery roundtrips, the
+stream/vector correspondence and decoder invariants.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.field import DEFAULT_FIELD, PrimeField
+from repro.recovery.berlekamp_massey import berlekamp_massey
+from repro.recovery.one_sparse import OneSparseDetector
+from repro.recovery.syndrome import SyndromeSparseRecovery
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.l0_estimator import _pow_many
+from repro.streams.model import UpdateStream, items_to_updates
+
+P31 = int(DEFAULT_FIELD.p)
+
+field_elems = st.integers(min_value=0, max_value=P31 - 1)
+small_values = st.integers(min_value=-10**6, max_value=10**6)
+
+
+class TestFieldAxioms:
+    @given(field_elems, field_elems, field_elems)
+    def test_mul_associative(self, a, b, c):
+        f = DEFAULT_FIELD
+        left = f.mul(f.mul(a, b), c)
+        right = f.mul(a, f.mul(b, c))
+        assert int(left) == int(right)
+
+    @given(field_elems, field_elems, field_elems)
+    def test_distributive(self, a, b, c):
+        f = DEFAULT_FIELD
+        left = f.mul(a, f.add(b, c))
+        right = f.add(f.mul(a, b), f.mul(a, c))
+        assert int(left) == int(right)
+
+    @given(field_elems)
+    def test_inverse(self, a):
+        assume(a != 0)
+        f = DEFAULT_FIELD
+        assert int(f.mul(a, f.inv(a))) == 1
+
+    @given(small_values)
+    def test_signed_roundtrip(self, v):
+        f = DEFAULT_FIELD
+        assert int(f.to_signed(f.from_signed(np.array([v]))[0])) == v
+
+    @given(st.integers(min_value=0, max_value=P31 - 1),
+           st.integers(min_value=0, max_value=200))
+    def test_pow_consistent(self, base, exp):
+        f = DEFAULT_FIELD
+        assert int(f.pow(np.uint64(base), exp)) == pow(base, exp, P31)
+
+
+class TestPowMany:
+    @given(st.integers(min_value=1, max_value=P31 - 1),
+           st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=1, max_size=20))
+    def test_matches_pow(self, base, exps):
+        out = _pow_many(DEFAULT_FIELD, np.uint64(base),
+                        np.array(exps, dtype=np.int64))
+        for e, v in zip(exps, out.tolist()):
+            assert int(v) == pow(base, e, P31)
+
+
+class TestStreamVectorCorrespondence:
+    @given(st.lists(st.tuples(st.integers(0, 63), small_values),
+                    max_size=60))
+    def test_final_vector_is_sum(self, pairs):
+        stream = UpdateStream.from_pairs(64, pairs)
+        expected = np.zeros(64, dtype=np.int64)
+        for i, u in pairs:
+            expected[i] += u
+        assert np.array_equal(stream.final_vector(), expected)
+
+    @given(st.lists(st.integers(0, 31), min_size=0, max_size=40))
+    def test_items_encoding_counts(self, items):
+        stream = items_to_updates(np.array(items, dtype=np.int64), 32)
+        vec = stream.final_vector()
+        for letter in range(32):
+            assert vec[letter] == items.count(letter) - 1
+
+
+class TestCountSketchLinearity:
+    @given(st.lists(st.tuples(st.integers(0, 99), small_values),
+                    min_size=1, max_size=30),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=25, deadline=None)
+    def test_update_order_irrelevant(self, pairs, seed):
+        a = CountSketch(100, m=4, rows=5, seed=seed)
+        b = CountSketch(100, m=4, rows=5, seed=seed)
+        idx = np.array([i for i, _ in pairs], dtype=np.int64)
+        dlt = np.array([u for _, u in pairs], dtype=np.float64)
+        a.update_many(idx, dlt)
+        order = np.random.default_rng(0).permutation(len(pairs))
+        b.update_many(idx[order], dlt[order])
+        assert np.allclose(a.table, b.table)
+
+    @given(st.lists(st.tuples(st.integers(0, 99), small_values),
+                    min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_negation_cancels(self, pairs):
+        sk = CountSketch(100, m=4, rows=5, seed=7)
+        idx = np.array([i for i, _ in pairs], dtype=np.int64)
+        dlt = np.array([u for _, u in pairs], dtype=np.float64)
+        sk.update_many(idx, dlt)
+        sk.update_many(idx, -dlt)
+        assert np.allclose(sk.table, 0.0)
+
+
+class TestSyndromeRecoveryProperties:
+    @given(st.dictionaries(st.integers(0, 199),
+                           st.integers(-1000, 1000).filter(lambda v: v != 0),
+                           min_size=0, max_size=6),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_sparse_vector(self, support, seed):
+        rec = SyndromeSparseRecovery(200, sparsity=6, seed=seed)
+        vec = np.zeros(200, dtype=np.int64)
+        for i, v in support.items():
+            vec[i] = v
+            rec.update(i, v)
+        result = rec.recover()
+        assert not result.dense
+        assert np.array_equal(result.to_dense(200), vec)
+
+    @given(st.lists(st.tuples(st.integers(0, 199),
+                              st.integers(-100, 100)),
+                    min_size=0, max_size=25),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_never_returns_wrong_sparse_vector(self, pairs, seed):
+        """Whatever happens, a non-DENSE answer must equal the truth."""
+        rec = SyndromeSparseRecovery(200, sparsity=4, seed=seed)
+        vec = np.zeros(200, dtype=np.int64)
+        for i, u in pairs:
+            vec[i] += u
+            rec.update(i, u)
+        result = rec.recover()
+        if not result.dense:
+            assert np.array_equal(result.to_dense(200), vec)
+
+
+class TestOneSparseProperties:
+    @given(st.integers(0, 499), st.integers(-10**6, 10**6),
+           st.integers(min_value=0, max_value=2**30))
+    def test_single_update_always_detected(self, index, value, seed):
+        assume(value != 0)
+        det = OneSparseDetector(500, seed=seed)
+        det.update(index, value)
+        verdict = det.decide()
+        assert verdict.kind == "one-sparse"
+        assert verdict.index == index and verdict.value == value
+
+    @given(st.lists(st.tuples(st.integers(0, 499), st.integers(-50, 50)),
+                    min_size=0, max_size=20),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_verdict_is_sound(self, pairs, seed):
+        det = OneSparseDetector(500, seed=seed)
+        vec = np.zeros(500, dtype=np.int64)
+        for i, u in pairs:
+            vec[i] += u
+            det.update(i, u)
+        verdict = det.decide()
+        nnz = int(np.count_nonzero(vec))
+        if verdict.kind == "zero":
+            assert nnz == 0
+        elif verdict.kind == "one-sparse":
+            assert nnz == 1
+            assert vec[verdict.index] == verdict.value
+
+
+class TestBerlekampMasseyProperties:
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=5,
+                    unique=True),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_power_sum_degree_matches_support(self, locators, seed):
+        rng = np.random.default_rng(seed)
+        weights = [int(rng.integers(1, 10**6)) for _ in locators]
+        seq = [sum(w * pow(a, j, P31) for w, a in zip(weights, locators))
+               % P31 for j in range(2 * len(locators) + 2)]
+        conn = berlekamp_massey(seq, P31)
+        assert len(conn) - 1 == len(locators)
+
+    @given(st.lists(field_elems, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_recurrence_always_satisfied(self, seq):
+        conn = berlekamp_massey(seq, P31)
+        L = len(conn) - 1
+        for j in range(L, len(seq)):
+            acc = sum(conn[k] * seq[j - k] for k in range(L + 1)) % P31
+            assert acc == 0
+
+
+class TestPrimeFieldSmallModuli:
+    @given(st.sampled_from([3, 5, 7, 11, 13, 17]), field_elems, field_elems)
+    def test_ops_respect_modulus(self, p, a, b):
+        f = PrimeField(p)
+        assert int(f.add(a, b)) == (a + b) % p
+        assert int(f.mul(a, b)) == (a % p) * (b % p) % p

@@ -1,0 +1,107 @@
+"""Additional property-based tests: sketch algebra and model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery.iblt import IBLTSparseRecovery
+from repro.sketch.ams import AMSSketch
+from repro.sketch.l0_estimator import L0Estimator
+from repro.sketch.stable import StableSketch
+from repro.streams.model import UpdateStream
+
+pairs = st.lists(st.tuples(st.integers(0, 99),
+                           st.integers(-1000, 1000)),
+                 min_size=0, max_size=25)
+
+
+class TestMergeIsStreamConcatenation:
+    """merge(sketch(A), sketch(B)) == sketch(A ++ B) for every sketch."""
+
+    @given(pairs, pairs, st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_ams(self, a, b, seed):
+        left = AMSSketch(100, groups=3, per_group=3, seed=seed)
+        right = AMSSketch(100, groups=3, per_group=3, seed=seed)
+        joint = AMSSketch(100, groups=3, per_group=3, seed=seed)
+        for i, u in a:
+            left.update(i, u)
+            joint.update(i, u)
+        for i, u in b:
+            right.update(i, u)
+            joint.update(i, u)
+        left.merge(right)
+        assert np.allclose(left.counters, joint.counters)
+
+    @given(pairs, pairs, st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_stable(self, a, b, seed):
+        left = StableSketch(100, 1.0, rows=7, seed=seed)
+        right = StableSketch(100, 1.0, rows=7, seed=seed)
+        joint = StableSketch(100, 1.0, rows=7, seed=seed)
+        for i, u in a:
+            left.update(i, u)
+            joint.update(i, u)
+        for i, u in b:
+            right.update(i, u)
+            joint.update(i, u)
+        left.merge(right)
+        assert np.allclose(left.counters, joint.counters, atol=1e-6)
+
+    @given(pairs, pairs, st.integers(0, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_iblt(self, a, b, seed):
+        left = IBLTSparseRecovery(100, sparsity=5, seed=seed)
+        right = IBLTSparseRecovery(100, sparsity=5, seed=seed)
+        joint = IBLTSparseRecovery(100, sparsity=5, seed=seed)
+        for i, u in a:
+            left.update(i, u)
+            joint.update(i, u)
+        for i, u in b:
+            right.update(i, u)
+            joint.update(i, u)
+        left.merge(right)
+        for x, y in zip(left._state_arrays(), joint._state_arrays()):
+            assert np.array_equal(x, y)
+
+    @given(pairs, st.integers(0, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_l0_estimator_subtract_self_is_zero(self, a, seed):
+        left = L0Estimator(100, reps=3, seed=seed)
+        right = L0Estimator(100, reps=3, seed=seed)
+        for i, u in a:
+            left.update(i, u)
+            right.update(i, u)
+        left.subtract(right)
+        assert left.is_zero_vector()
+
+
+class TestSerializationProperties:
+    @given(pairs, st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_arbitrary_state(self, a, seed):
+        from repro.sketch.serialize import from_bytes
+
+        sketch = AMSSketch(100, groups=3, per_group=3, seed=seed)
+        for i, u in a:
+            sketch.update(i, u)
+        clone = from_bytes(sketch.to_bytes())
+        assert np.array_equal(sketch.counters, clone.counters)
+        assert clone.seed == sketch.seed
+
+
+class TestStreamAlgebraProperties:
+    @given(pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_negated_cancels(self, a):
+        stream = UpdateStream.from_pairs(100, a)
+        combined = stream.concat(stream.negated())
+        assert not combined.final_vector().any()
+
+    @given(pairs, pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_concat_adds_vectors(self, a, b):
+        sa = UpdateStream.from_pairs(100, a)
+        sb = UpdateStream.from_pairs(100, b)
+        assert np.array_equal(sa.concat(sb).final_vector(),
+                              sa.final_vector() + sb.final_vector())

@@ -1,0 +1,48 @@
+"""Tests for the protocol framework (comm/protocol.py)."""
+
+import pytest
+
+from repro.comm.protocol import ProtocolResult, information_floor_bits
+
+
+class TestProtocolResult:
+    def test_total_and_rounds(self):
+        result = ProtocolResult(output=5, message_bits=[100, 28])
+        assert result.total_bits == 128
+        assert result.rounds == 2
+
+    def test_empty_message_list(self):
+        result = ProtocolResult(output=None)
+        assert result.total_bits == 0
+        assert result.rounds == 0
+
+    def test_meta_defaults_independent(self):
+        a = ProtocolResult(output=1)
+        b = ProtocolResult(output=2)
+        a.meta["x"] = 1
+        assert "x" not in b.meta
+
+
+class TestInformationFloor:
+    def test_lemma6_shape(self):
+        # floor = (1 - delta) * m * log2 k
+        assert information_floor_bits(8, 256, delta=0.0) == 64.0
+        assert information_floor_bits(8, 256, delta=0.5) == 32.0
+
+    def test_monotone_in_m_and_k(self):
+        assert information_floor_bits(16, 16) \
+            > information_floor_bits(8, 16)
+        assert information_floor_bits(8, 256) \
+            > information_floor_bits(8, 16)
+
+    def test_measured_protocols_respect_the_floor(self):
+        """Our AI-via-UR message must exceed the Lemma 6 floor — the
+        lower bound, checked against a real protocol execution."""
+        from repro.comm import (augmented_indexing_via_ur,
+                                one_round_protocol, random_ai_instance)
+
+        inst = random_ai_instance(3, 8, seed=1)
+        result = augmented_indexing_via_ur(inst, one_round_protocol,
+                                           seed=1, delta=0.25)
+        floor = information_floor_bits(3, 8, delta=0.5)
+        assert result.total_bits > floor

@@ -1,0 +1,255 @@
+"""Unit tests for sparse recovery: Berlekamp–Massey, syndrome decoder
+(Lemma 5), IBLT alternative and the 1-sparse detector."""
+
+import numpy as np
+import pytest
+
+from repro.recovery.berlekamp_massey import berlekamp_massey, lfsr_length
+from repro.recovery.iblt import IBLTSparseRecovery
+from repro.recovery.one_sparse import OneSparseDetector
+from repro.recovery.syndrome import SyndromeSparseRecovery
+from repro.streams import sparse_vector, vector_to_stream, zipf_vector
+
+from conftest import apply_vector
+
+PRIME = 2**31 - 1
+
+
+class TestBerlekampMassey:
+    def test_zero_sequence(self):
+        assert berlekamp_massey([0, 0, 0, 0], PRIME) == [1]
+
+    def test_geometric_sequence_is_lfsr_length_one(self):
+        seq = [pow(3, j, PRIME) for j in range(8)]
+        conn = berlekamp_massey(seq, PRIME)
+        assert len(conn) == 2
+        # s_j - 3 s_{j-1} = 0  =>  C = 1 - 3 X
+        assert conn[1] == PRIME - 3
+
+    def test_fibonacci_mod_p(self):
+        seq = [1, 1]
+        for _ in range(10):
+            seq.append((seq[-1] + seq[-2]) % PRIME)
+        conn = berlekamp_massey(seq, PRIME)
+        assert lfsr_length(seq, PRIME) == 2
+        assert conn == [1, PRIME - 1, PRIME - 1]
+
+    def test_recurrence_holds(self):
+        rng = np.random.default_rng(5)
+        # random weighted power sums with 4 terms
+        locators = [2, 7, 11, 19]
+        weights = [int(rng.integers(1, 1000)) for _ in locators]
+        seq = [sum(w * pow(a, j, PRIME) for w, a in zip(weights, locators))
+               % PRIME for j in range(10)]
+        conn = berlekamp_massey(seq, PRIME)
+        L = len(conn) - 1
+        assert L == 4
+        for j in range(L, len(seq)):
+            acc = sum(conn[k] * seq[j - k] for k in range(L + 1)) % PRIME
+            assert acc == 0
+
+    def test_small_field(self):
+        seq = [pow(2, j, 13) for j in range(6)]
+        conn = berlekamp_massey(seq, 13)
+        assert conn == [1, 11]  # 1 - 2X mod 13
+
+
+class TestSyndromeRecovery:
+    def test_zero_vector(self):
+        rec = SyndromeSparseRecovery(100, sparsity=3, seed=1)
+        result = rec.recover()
+        assert not result.dense and result.is_zero
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            SyndromeSparseRecovery(100, sparsity=0)
+
+    @pytest.mark.parametrize("support,seed", [(1, 1), (3, 2), (8, 3),
+                                              (12, 4)])
+    def test_exact_roundtrip(self, support, seed):
+        n = 700
+        vec = sparse_vector(n, support, seed=seed)
+        rec = SyndromeSparseRecovery(n, sparsity=12, seed=seed)
+        apply_vector(rec, vec, seed=seed)
+        result = rec.recover()
+        assert not result.dense
+        assert np.array_equal(result.to_dense(n), vec)
+
+    def test_roundtrip_at_exact_sparsity_limit(self):
+        n = 300
+        vec = sparse_vector(n, 5, seed=9)
+        rec = SyndromeSparseRecovery(n, sparsity=5, seed=9)
+        apply_vector(rec, vec, seed=9)
+        result = rec.recover()
+        assert not result.dense
+        assert np.array_equal(result.to_dense(n), vec)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_dense_flagged(self, seed):
+        n = 400
+        vec = sparse_vector(n, 60, seed=seed)  # far above sparsity
+        rec = SyndromeSparseRecovery(n, sparsity=5, seed=seed)
+        apply_vector(rec, vec, seed=seed)
+        assert rec.recover().dense
+
+    def test_deletions_reach_sparse_state(self):
+        """Mid-stream the vector is dense; deletions make it 2-sparse."""
+        n = 200
+        rec = SyndromeSparseRecovery(n, sparsity=3, seed=7)
+        idx = np.arange(50, dtype=np.int64)
+        rec.update_many(idx, np.ones(50, dtype=np.int64))
+        rec.update_many(idx[2:], -np.ones(48, dtype=np.int64))
+        result = rec.recover()
+        assert not result.dense
+        assert result.indices.tolist() == [0, 1]
+        assert result.values.tolist() == [1, 1]
+
+    def test_negative_values_recovered(self):
+        n = 100
+        rec = SyndromeSparseRecovery(n, sparsity=4, seed=8)
+        rec.update(10, -7)
+        rec.update(90, 3)
+        result = rec.recover()
+        assert not result.dense
+        assert result.to_dense(n)[10] == -7
+        assert result.to_dense(n)[90] == 3
+
+    def test_linearity_subtract(self):
+        """recover(sketch(x) - sketch(y)) = x - y when the diff is sparse."""
+        n = 300
+        x = zipf_vector(n, scale=50, seed=3)
+        y = x.copy()
+        y[5] += 9
+        y[200] -= 4
+        a = SyndromeSparseRecovery(n, sparsity=4, seed=5)
+        b = SyndromeSparseRecovery(n, sparsity=4, seed=5)
+        apply_vector(a, x, seed=1)
+        apply_vector(b, y, seed=2)
+        a.subtract(b)
+        result = a.recover()
+        assert not result.dense
+        diff = result.to_dense(n)
+        assert diff[5] == -9 and diff[200] == 4
+        assert np.count_nonzero(diff) == 2
+
+    def test_space_linear_in_sparsity(self):
+        small = SyndromeSparseRecovery(1000, sparsity=2)
+        large = SyndromeSparseRecovery(1000, sparsity=20)
+        ratio = large.space_report().counter_total \
+            / small.space_report().counter_total
+        assert 5.0 < ratio < 12.0  # 40+3 vs 4+3 counters
+
+
+class TestIBLT:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip_mostly_succeeds(self, seed):
+        n = 500
+        vec = sparse_vector(n, 10, seed=seed)
+        rec = IBLTSparseRecovery(n, sparsity=16, seed=seed + 100)
+        apply_vector(rec, vec, seed=seed)
+        result = rec.recover()
+        if not result.dense:  # failure is allowed but must be flagged
+            assert np.array_equal(result.to_dense(n), vec)
+
+    def test_aggregate_success_rate(self):
+        n, ok = 500, 0
+        for seed in range(20):
+            vec = sparse_vector(n, 10, seed=seed)
+            rec = IBLTSparseRecovery(n, sparsity=16, seed=seed + 300)
+            apply_vector(rec, vec, seed=seed)
+            result = rec.recover()
+            if not result.dense and np.array_equal(result.to_dense(n), vec):
+                ok += 1
+        assert ok >= 16
+
+    def test_dense_flagged(self):
+        n = 400
+        vec = sparse_vector(n, 80, seed=5)
+        rec = IBLTSparseRecovery(n, sparsity=5, seed=5)
+        apply_vector(rec, vec, seed=5)
+        assert rec.recover().dense
+
+    def test_zero_vector(self):
+        rec = IBLTSparseRecovery(100, sparsity=4, seed=1)
+        result = rec.recover()
+        assert not result.dense and result.is_zero
+
+    def test_recover_does_not_mutate(self):
+        rec = IBLTSparseRecovery(100, sparsity=4, seed=2)
+        rec.update(3, 7)
+        before = rec.value_sum.copy()
+        rec.recover()
+        assert np.array_equal(rec.value_sum, before)
+
+    def test_subtract_linearity(self):
+        n = 200
+        a = IBLTSparseRecovery(n, sparsity=8, seed=3)
+        b = IBLTSparseRecovery(n, sparsity=8, seed=3)
+        a.update(10, 5)
+        a.update(20, 7)
+        b.update(20, 7)
+        a.subtract(b)
+        result = a.recover()
+        assert not result.dense
+        assert result.indices.tolist() == [10]
+
+
+class TestOneSparse:
+    def test_zero(self):
+        det = OneSparseDetector(100, seed=1)
+        assert det.decide().kind == "zero"
+
+    def test_one_sparse_positive(self):
+        det = OneSparseDetector(100, seed=2)
+        det.update(33, 12)
+        verdict = det.decide()
+        assert verdict.kind == "one-sparse"
+        assert verdict.index == 33 and verdict.value == 12
+
+    def test_one_sparse_negative(self):
+        det = OneSparseDetector(100, seed=3)
+        det.update(77, -4)
+        verdict = det.decide()
+        assert verdict.kind == "one-sparse"
+        assert verdict.index == 77 and verdict.value == -4
+
+    def test_two_coordinates_rejected(self):
+        det = OneSparseDetector(100, seed=4)
+        det.update(1, 5)
+        det.update(2, 5)
+        assert det.decide().kind == "not-one-sparse"
+
+    def test_cancelling_sum_rejected(self):
+        """A = 0 but the vector is non-zero: must not claim 1-sparse."""
+        det = OneSparseDetector(100, seed=5)
+        det.update(1, 5)
+        det.update(2, -5)
+        assert det.decide().kind == "not-one-sparse"
+
+    def test_many_random_pairs_never_false_positive(self):
+        rng = np.random.default_rng(6)
+        for trial in range(50):
+            det = OneSparseDetector(1000, seed=trial)
+            i, j = rng.choice(1000, size=2, replace=False)
+            det.update(int(i), int(rng.integers(1, 100)))
+            det.update(int(j), int(rng.integers(1, 100)))
+            assert det.decide().kind == "not-one-sparse"
+
+    def test_deletion_down_to_one(self):
+        det = OneSparseDetector(100, seed=7)
+        det.update(1, 5)
+        det.update(2, 3)
+        det.update(2, -3)
+        verdict = det.decide()
+        assert verdict.kind == "one-sparse"
+        assert verdict.index == 1
+
+    def test_subtract(self):
+        a = OneSparseDetector(100, seed=8)
+        b = OneSparseDetector(100, seed=8)
+        a.update(1, 5)
+        a.update(9, 2)
+        b.update(9, 2)
+        a.subtract(b)
+        verdict = a.decide()
+        assert verdict.kind == "one-sparse" and verdict.index == 1

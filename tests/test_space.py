@@ -1,0 +1,85 @@
+"""Tests for the bit-accounting model (space/accounting.py)."""
+
+import pytest
+
+from repro.space.accounting import SpaceReport, bits_of, counter_bits
+
+
+class TestCounterBits:
+    def test_default_bound_is_n_squared(self):
+        # M = n^2 = 2^20 for n = 2^10: need ~21 bits plus a sign
+        assert counter_bits(1 << 10) == pytest.approx(21, abs=2)
+
+    def test_explicit_magnitude(self):
+        assert counter_bits(10**6, magnitude=1) == 2  # {-1, 0, 1}
+
+    def test_monotone_in_universe(self):
+        assert counter_bits(1 << 20) > counter_bits(1 << 8)
+
+
+class TestSpaceReport:
+    def test_flat_total(self):
+        report = SpaceReport("x", counter_count=10, bits_per_counter=8,
+                             seed_bits=5)
+        assert report.counter_total == 80
+        assert report.seed_total == 5
+        assert report.total == 85
+
+    def test_nested_totals(self):
+        root = SpaceReport("root", seed_bits=1)
+        root.add(SpaceReport("a", counter_count=2, bits_per_counter=3))
+        root.add(SpaceReport("b", seed_bits=10))
+        assert root.total == 1 + 6 + 10
+
+    def test_string_rendering_contains_children(self):
+        root = SpaceReport("root")
+        root.add(SpaceReport("child", counter_count=1, bits_per_counter=1))
+        text = str(root)
+        assert "root" in text and "child" in text
+
+    def test_bits_of_prefers_report(self):
+        class WithReport:
+            def space_report(self):
+                return SpaceReport("r", seed_bits=42)
+
+            def space_bits(self):
+                return 0  # must be ignored
+
+        assert bits_of(WithReport()) == 42
+
+    def test_bits_of_falls_back(self):
+        class OnlyBits:
+            def space_bits(self):
+                return 13
+
+        assert bits_of(OnlyBits()) == 13
+
+
+class TestPaperScalings:
+    """The accounting must reproduce the paper's headline asymptotics."""
+
+    def test_lp_sampler_round_vs_ako_round_gap_grows(self):
+        """E3's core fact: ours/AKO space ratio shrinks like 1/log n."""
+        from repro.baselines.ako import AKOSamplerRound
+        from repro.core import LpSamplerRound
+
+        def ratio(log_n):
+            ours = LpSamplerRound(1 << log_n, 1.5, 0.5, seed=1)
+            theirs = AKOSamplerRound(1 << log_n, 1.5, 0.5, seed=1)
+            return theirs.space_report().counter_total \
+                / ours.space_report().counter_total
+
+        assert ratio(16) > 1.5 * ratio(8) / 1.5  # monotone growth...
+        assert ratio(16) > ratio(8)              # ...the log factor
+
+    def test_l0_vs_fis_gap_grows(self):
+        from repro.baselines.fis import FISL0Sampler
+        from repro.core import L0Sampler
+
+        def ratio(log_n):
+            ours = L0Sampler(1 << log_n, delta=0.25, seed=1)
+            theirs = FISL0Sampler(1 << log_n, seed=1)
+            return theirs.space_report().counter_total \
+                / ours.space_report().counter_total
+
+        assert ratio(14) > ratio(7)

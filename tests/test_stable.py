@@ -1,0 +1,104 @@
+"""Unit tests for the p-stable norm estimator (sketch/stable.py) — Lemma 2."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.stable import StableSketch, stable_median
+from repro.streams import uniform_signed_vector, zipf_vector
+
+from conftest import apply_vector
+
+
+class TestStableMedian:
+    def test_cauchy_is_one(self):
+        assert stable_median(1.0) == 1.0
+
+    def test_gaussian_case(self):
+        # median |sqrt(2) N(0,1)| = sqrt(2) * 0.6745 ~ 0.9539
+        assert stable_median(2.0) == pytest.approx(0.9539, rel=0.02)
+
+    def test_cached(self):
+        a = stable_median(1.5)
+        b = stable_median(1.5)
+        assert a == b
+
+
+class TestEstimation:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            StableSketch(10, 0.0, rows=5)
+        with pytest.raises(ValueError):
+            StableSketch(10, 2.1, rows=5)
+        with pytest.raises(ValueError):
+            StableSketch(10, 1.0, rows=0)
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0])
+    def test_constant_factor(self, p):
+        n = 600
+        good = 0
+        for seed in range(8):
+            vec = zipf_vector(n, scale=1000, seed=seed)
+            sk = apply_vector(StableSketch(n, p, rows=35, seed=seed),
+                              vec, seed=seed)
+            truth = float((np.abs(vec).astype(float)**p).sum()**(1.0 / p))
+            if 0.5 * truth <= sk.norm_estimate() <= 2.0 * truth:
+                good += 1
+        assert good >= 6
+
+    def test_norm_upper_brackets(self):
+        """Lemma 2's contract: ||x||_p <= r <= 2||x||_p most of the time."""
+        n, p = 500, 1.0
+        hits = 0
+        for seed in range(10):
+            vec = zipf_vector(n, scale=800, seed=seed)
+            sk = apply_vector(StableSketch(n, p, rows=35, seed=seed),
+                              vec, seed=seed)
+            truth = float(np.abs(vec).sum())
+            if truth <= sk.norm_upper() <= 2.0 * truth:
+                hits += 1
+        assert hits >= 6
+
+    def test_signed_inputs(self):
+        n = 400
+        vec = uniform_signed_vector(n, seed=3)
+        sk = apply_vector(StableSketch(n, 1.0, rows=35, seed=3), vec, seed=3)
+        truth = float(np.abs(vec).sum())
+        assert sk.norm_estimate() == pytest.approx(truth, rel=0.5)
+
+    def test_zero_vector(self):
+        sk = StableSketch(100, 1.0, rows=15, seed=1)
+        assert sk.norm_estimate() == 0.0
+
+    def test_deletions_cancel_exactly(self):
+        """Insert then delete the same mass: counters return to zero."""
+        sk = StableSketch(100, 1.3, rows=15, seed=2)
+        sk.update(5, 100)
+        sk.update(5, -100)
+        assert np.allclose(sk.counters, 0.0)
+
+
+class TestLinearity:
+    def test_merge(self):
+        a = StableSketch(100, 1.0, rows=15, seed=4)
+        b = StableSketch(100, 1.0, rows=15, seed=4)
+        a.update(1, 3)
+        b.update(2, 4)
+        joint = StableSketch(100, 1.0, rows=15, seed=4)
+        joint.update(1, 3)
+        joint.update(2, 4)
+        a.merge(b)
+        assert np.allclose(a.counters, joint.counters)
+
+    def test_incompatible_p_rejected(self):
+        a = StableSketch(100, 1.0, rows=15, seed=4)
+        b = StableSketch(100, 1.5, rows=15, seed=4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSpace:
+    def test_rows_counters_plus_seed(self):
+        sk = StableSketch(1000, 1.0, rows=21)
+        report = sk.space_report()
+        assert report.counter_count == 21
+        assert report.seed_bits == 64

@@ -1,0 +1,195 @@
+"""Tests for the turnstile model and the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (UpdateStream, duplicate_stream,
+                           heavy_hitter_instance, items_to_updates,
+                           long_stream, planted_duplicate_stream, pm1_vector,
+                           short_stream, signed_zipf_vector, sparse_vector,
+                           uniform_signed_vector, vector_to_stream,
+                           zipf_vector)
+from repro.streams.model import Update
+
+
+class TestUpdateStream:
+    def test_from_pairs_roundtrip(self):
+        stream = UpdateStream.from_pairs(10, [(1, 5), (2, -3), (1, 1)])
+        vec = stream.final_vector()
+        assert vec[1] == 6 and vec[2] == -3
+
+    def test_empty_stream(self):
+        stream = UpdateStream.from_pairs(10, [])
+        assert len(stream) == 0
+        assert not stream.final_vector().any()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateStream.from_pairs(10, [(10, 1)])
+        with pytest.raises(ValueError):
+            UpdateStream.from_pairs(10, [(-1, 1)])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateStream(10, np.array([1, 2]), np.array([1]))
+
+    def test_iteration_yields_updates(self):
+        stream = UpdateStream.from_pairs(10, [(3, 7)])
+        items = list(stream)
+        assert items == [Update(3, 7)]
+
+    def test_from_vector(self):
+        vec = np.array([0, 5, 0, -2])
+        stream = UpdateStream.from_vector(vec)
+        assert len(stream) == 2
+        assert np.array_equal(stream.final_vector(), vec)
+
+    def test_strict_turnstile_detection(self):
+        ok = UpdateStream.from_pairs(5, [(0, 5), (0, -3)])
+        assert ok.is_strict_turnstile()
+        bad = UpdateStream.from_pairs(5, [(0, -1)])
+        assert not bad.is_strict_turnstile()
+
+    def test_concat_and_negate(self):
+        a = UpdateStream.from_pairs(5, [(0, 1)])
+        b = UpdateStream.from_pairs(5, [(1, 2)])
+        c = a.concat(b.negated())
+        vec = c.final_vector()
+        assert vec[0] == 1 and vec[1] == -2
+
+    def test_concat_universe_mismatch(self):
+        a = UpdateStream.from_pairs(5, [(0, 1)])
+        b = UpdateStream.from_pairs(6, [(0, 1)])
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_apply_to_prefers_bulk(self):
+        class Bulk:
+            def __init__(self):
+                self.bulk_calls = 0
+
+            def update_many(self, idx, dlt):
+                self.bulk_calls += 1
+
+        sink = Bulk()
+        UpdateStream.from_pairs(5, [(0, 1), (1, 2)]).apply_to(sink)
+        assert sink.bulk_calls == 1
+
+    def test_max_coordinate_magnitude(self):
+        stream = UpdateStream.from_pairs(5, [(0, 100), (1, -7)])
+        assert stream.max_coordinate_magnitude() == 100
+
+
+class TestItemsEncoding:
+    def test_theorem3_identity(self):
+        """x_i = occurrences - 1 after the baseline."""
+        items = np.array([0, 0, 2])
+        stream = items_to_updates(items, 4)
+        vec = stream.final_vector()
+        assert vec.tolist() == [1, -1, 0, -1]
+
+    def test_without_baseline(self):
+        stream = items_to_updates(np.array([1, 1]), 3,
+                                  include_baseline=False)
+        assert stream.final_vector().tolist() == [0, 2, 0]
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            items_to_updates(np.array([5]), 3)
+
+
+class TestVectorToStream:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stream_realises_vector(self, seed):
+        vec = uniform_signed_vector(64, seed=seed)
+        stream = vector_to_stream(vec, seed=seed)
+        assert np.array_equal(stream.final_vector(), vec)
+
+    def test_contains_deletions(self):
+        vec = zipf_vector(128, scale=500, seed=1)
+        stream = vector_to_stream(vec, seed=1)
+        assert (stream.deltas < 0).any()  # the general update model
+
+
+class TestGenerators:
+    def test_zipf_nonnegative(self):
+        assert zipf_vector(100, seed=1).min() >= 0
+
+    def test_signed_zipf_has_both_signs(self):
+        vec = signed_zipf_vector(200, seed=2)
+        assert (vec > 0).any() and (vec < 0).any()
+
+    def test_pm1_values(self):
+        vec = pm1_vector(500, seed=3)
+        assert set(np.unique(vec).tolist()) <= {-1, 0, 1}
+
+    def test_sparse_vector_support(self):
+        vec = sparse_vector(100, 17, seed=4)
+        assert np.count_nonzero(vec) == 17
+
+    def test_sparse_vector_rejects_oversupport(self):
+        with pytest.raises(ValueError):
+            sparse_vector(10, 11)
+
+
+class TestDuplicateWorkloads:
+    def test_duplicate_stream_has_duplicates(self):
+        inst = duplicate_stream(100, seed=1)
+        assert len(inst.items) == 101
+        assert inst.duplicates.size >= 1
+        values, counts = np.unique(inst.items, return_counts=True)
+        assert set(values[counts >= 2]) == set(inst.duplicates)
+
+    def test_planted_single_duplicate(self):
+        inst = planted_duplicate_stream(100, seed=2)
+        assert len(inst.items) == 101
+        values, counts = np.unique(inst.items, return_counts=True)
+        dups = values[counts >= 2]
+        assert dups.tolist() == inst.duplicates.tolist()
+        assert len(dups) == 1
+
+    def test_planted_copies(self):
+        inst = planted_duplicate_stream(50, copies=5, seed=3)
+        values, counts = np.unique(inst.items, return_counts=True)
+        planted = inst.duplicates[0]
+        assert counts[values == planted][0] == 5
+
+    def test_short_stream_no_duplicate(self):
+        inst = short_stream(100, missing=10, with_duplicate=False, seed=4)
+        assert len(inst.items) == 90
+        assert inst.duplicates.size == 0
+        assert np.unique(inst.items).size == 90
+
+    def test_short_stream_with_duplicate(self):
+        inst = short_stream(100, missing=10, with_duplicate=True, seed=5)
+        assert len(inst.items) == 90
+        assert inst.duplicates.size == 1
+
+    def test_long_stream_length(self):
+        inst = long_stream(100, extra=20, seed=6)
+        assert len(inst.items) == 120
+
+    def test_update_stream_encoding(self):
+        inst = duplicate_stream(50, seed=7)
+        vec = inst.update_stream().final_vector()
+        assert vec.sum() == 1  # length n+1 minus n baseline
+
+
+class TestHeavyHitterWorkloads:
+    @pytest.mark.parametrize("p,phi", [(0.5, 0.25), (1.0, 0.125), (2.0, 0.25)])
+    def test_planted_heavy_set(self, p, phi):
+        inst = heavy_hitter_instance(300, p=p, phi=phi, heavy_count=3,
+                                     seed=8)
+        required = inst.required()
+        # feasibility: at most phi^-p coordinates can be heavy at once
+        assert 1 <= required.size <= int(np.floor(phi ** -p))
+        norm = inst.norm
+        assert np.all(np.abs(inst.vector[required]) >= phi * norm)
+
+    def test_infeasible_phi_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_hitter_instance(100, p=0.5, phi=0.9, seed=1)
+
+    def test_forbidden_disjoint_from_required(self):
+        inst = heavy_hitter_instance(300, p=1.0, phi=0.125, seed=9)
+        assert not set(inst.required()) & set(inst.forbidden())

@@ -1,0 +1,93 @@
+"""Tests for the two-pass L0 sampler (the Section 4.1 remark)."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_pass import TwoPassL0Sampler
+from repro.streams import sparse_vector, vector_to_stream
+
+
+def run_two_pass(vector, seed, delta=0.25):
+    sampler = TwoPassL0Sampler(vector.size, delta=delta, seed=seed)
+    stream = vector_to_stream(vector, seed=7)
+    stream.apply_to(sampler)          # pass 1
+    sampler.finish_first_pass()
+    stream.apply_to(sampler)          # pass 2 (identical replay)
+    return sampler
+
+
+class TestPassDiscipline:
+    def test_sample_before_second_pass_fails(self):
+        sampler = TwoPassL0Sampler(64, seed=1)
+        assert sampler.sample().failed
+
+    def test_double_finish_rejected(self):
+        sampler = TwoPassL0Sampler(64, seed=1)
+        sampler.finish_first_pass()
+        with pytest.raises(RuntimeError):
+            sampler.finish_first_pass()
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            TwoPassL0Sampler(64, delta=2.0)
+
+    def test_pass_counter(self):
+        sampler = TwoPassL0Sampler(64, seed=1)
+        assert sampler.current_pass == 1
+        sampler.finish_first_pass()
+        assert sampler.current_pass == 2
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("support", [3, 30, 120])
+    def test_samples_support_with_exact_values(self, support):
+        n = 512
+        vec = sparse_vector(n, support, seed=support)
+        hits = 0
+        for seed in range(25):
+            sampler = run_two_pass(vec, seed=seed)
+            result = sampler.sample()
+            if result.failed:
+                continue
+            hits += 1
+            assert vec[result.index] != 0
+            assert result.estimate == vec[result.index]
+        assert hits >= 17
+
+    def test_estimate_frozen_after_pass1(self):
+        n = 256
+        vec = sparse_vector(n, 40, seed=3)
+        sampler = TwoPassL0Sampler(n, seed=3)
+        vector_to_stream(vec, seed=7).apply_to(sampler)
+        estimate = sampler.finish_first_pass()
+        assert 40 / 8 <= estimate <= 40 * 8
+
+    def test_zero_vector(self):
+        sampler = TwoPassL0Sampler(128, seed=5)
+        sampler.finish_first_pass()
+        assert sampler.sample().failed
+
+
+class TestSpaceShape:
+    def test_no_level_pyramid(self):
+        """The two-pass structure keeps O(log 1/delta) single-level
+        recoveries, not the one-pass log n pyramid — its recovery
+        counter count must not grow with n."""
+        from repro.core import L0Sampler
+
+        small2 = TwoPassL0Sampler(1 << 8, delta=0.25, seed=1)
+        large2 = TwoPassL0Sampler(1 << 16, delta=0.25, seed=1)
+        small2.finish_first_pass()
+        large2.finish_first_pass()
+        count_small = sum(c.counter_count
+                          for c in small2.space_report().children[1:])
+        count_large = sum(c.counter_count
+                          for c in large2.space_report().children[1:])
+        assert count_small == count_large
+        # whereas the one-pass sampler's recovery counters grow ~log n
+        one_small = L0Sampler(1 << 8, delta=0.25, seed=1)
+        one_large = L0Sampler(1 << 16, delta=0.25, seed=1)
+        assert (sum(c.counter_count
+                    for c in one_large.space_report().children)
+                > 1.5 * sum(c.counter_count
+                            for c in one_small.space_report().children))

@@ -1,0 +1,119 @@
+"""Tests for the related-work samplers: chain (sliding window) and
+distributed min-tag sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedSampler
+from repro.core.sliding_window import ChainSampler
+
+
+class TestChainSampler:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ChainSampler(10, window=0)
+
+    def test_empty_stream_fails(self):
+        sampler = ChainSampler(10, window=5, seed=1)
+        assert sampler.sample().failed
+
+    def test_single_item(self):
+        sampler = ChainSampler(10, window=5, seed=2)
+        sampler.append(7)
+        assert sampler.sample().index == 7
+
+    def test_sample_is_inside_window(self):
+        for seed in range(20):
+            sampler = ChainSampler(1000, window=10, seed=seed)
+            items = np.arange(100)  # item == its position
+            sampler.append_many(items)
+            result = sampler.sample()
+            if result.failed:
+                continue  # rare chain-expiry gap, allowed by the scheme
+            assert 90 <= result.index < 100  # only live items
+
+    def test_uniform_over_window(self):
+        """Each of the W live items is sampled ~uniformly."""
+        window = 8
+        counts = np.zeros(window)
+        trials = 1500
+        for seed in range(trials):
+            sampler = ChainSampler(100, window=window, seed=seed)
+            sampler.append_many(np.arange(40) % 100)
+            result = sampler.sample()
+            if not result.failed:
+                counts[result.index - (40 - window)] += 1
+        frequencies = counts / counts.sum()
+        assert frequencies.max() < 2.2 / window
+        assert frequencies.min() > 0.4 / window
+
+    def test_turnstile_updates_rejected(self):
+        sampler = ChainSampler(10, window=5, seed=3)
+        with pytest.raises(ValueError):
+            sampler.update(3, -1)
+        with pytest.raises(ValueError):
+            sampler.update(3, 2)
+
+    def test_chain_stays_short(self):
+        sampler = ChainSampler(1000, window=50, seed=4)
+        worst = 0
+        for t in range(2000):
+            sampler.append(t % 1000)
+            worst = max(worst, sampler.chain_length)
+        assert worst <= 25  # O(log W) whp; generous bound
+
+
+class TestDistributedSampler:
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(10, sites=0)
+
+    def test_empty_fails(self):
+        sampler = DistributedSampler(10, sites=3, seed=1)
+        assert sampler.sample().failed
+
+    def test_sample_comes_from_observed_items(self):
+        sampler = DistributedSampler(100, sites=4, seed=2)
+        rng = np.random.default_rng(2)
+        items = rng.integers(0, 100, size=200)
+        sites = rng.integers(0, 4, size=200)
+        sampler.observe_many(sites, items)
+        result = sampler.sample()
+        assert result.index in set(items.tolist())
+
+    def test_uniform_over_union(self):
+        """Over independent runs, each distinct arrival is the sample
+        with roughly equal probability (items here are all distinct)."""
+        n_items = 30
+        counts = np.zeros(n_items)
+        for seed in range(1200):
+            sampler = DistributedSampler(1000, sites=3, seed=seed)
+            for item in range(n_items):
+                sampler.observe(item % 3, item)
+            counts[sampler.sample().index] += 1
+        freq = counts / counts.sum()
+        assert freq.max() < 2.5 / n_items
+        assert freq.min() > 0.3 / n_items
+
+    def test_communication_is_logarithmic(self):
+        """Messages per site grow like log(arrivals), not linearly."""
+        rng = np.random.default_rng(5)
+        msgs = {}
+        for length in (100, 10_000):
+            sampler = DistributedSampler(10**6, sites=4, seed=7)
+            items = rng.integers(0, 10**6, size=length)
+            sites = rng.integers(0, 4, size=length)
+            sampler.observe_many(sites, items)
+            msgs[length] = sampler.total_messages
+        # 100x more traffic must cost far less than 100x the messages
+        assert msgs[10_000] < 6 * msgs[100]
+
+    def test_broadcast_prunes(self):
+        sampler = DistributedSampler(100, sites=2, seed=8,
+                                     broadcast_every=1)
+        for item in range(50):
+            sampler.observe(item % 2, item)
+        assert sampler.broadcasts > 0
+        best = min(site.best_tag for site in sampler._sites)
+        assert all(site.best_tag <= best + 1e-12
+                   for site in sampler._sites)
