@@ -56,9 +56,11 @@ class DuplicateFinder:
     """
 
     def __init__(self, universe: int, delta: float = 0.25, seed: int = 0,
-                 sampler_rounds: int = 8):
+                 sampler_rounds: int = 8, include_baseline: bool = True):
         self.universe = int(universe)
         self.delta = float(delta)
+        self.seed = int(seed)
+        self.sampler_rounds = int(sampler_rounds)
         reps = _repetitions_for(delta)
         seeds = np.random.SeedSequence((seed, 0xD0B)).generate_state(reps)
         # Each repetition: an eps=1/2 sampler whose own round count makes
@@ -68,10 +70,14 @@ class DuplicateFinder:
                       rounds=sampler_rounds)
             for s in seeds
         ]
-        baseline_idx = np.arange(self.universe, dtype=np.int64)
-        baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
-        for sampler in self._samplers:
-            sampler.update_many(baseline_idx, baseline_dlt)
+        # include_baseline=False builds an *empty* twin (no -1 baseline
+        # fed): the engine restore path, where the loaded state already
+        # contains the baseline's effect.
+        if include_baseline:
+            baseline_idx = np.arange(self.universe, dtype=np.int64)
+            baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
+            for sampler in self._samplers:
+                sampler.update_many(baseline_idx, baseline_dlt)
 
     def process_item(self, item: int) -> None:
         """Observe one stream item (a letter of [0, universe))."""
@@ -116,12 +122,15 @@ class ShortStreamDuplicateFinder:
     """
 
     def __init__(self, universe: int, s: int, delta: float = 0.25,
-                 seed: int = 0, sampler_rounds: int = 8):
+                 seed: int = 0, sampler_rounds: int = 8,
+                 include_baseline: bool = True):
         if s < 0:
             raise ValueError("s must be non-negative")
         self.universe = int(universe)
         self.s = int(s)
         self.delta = float(delta)
+        self.seed = int(seed)
+        self.sampler_rounds = int(sampler_rounds)
         self._recovery = SyndromeSparseRecovery(
             universe, sparsity=max(1, 5 * self.s), seed=seed * 3 + 1)
         reps = _repetitions_for(delta)
@@ -131,11 +140,14 @@ class ShortStreamDuplicateFinder:
                       rounds=sampler_rounds)
             for sd in seeds
         ]
-        baseline_idx = np.arange(self.universe, dtype=np.int64)
-        baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
-        self._recovery.update_many(baseline_idx, baseline_dlt)
-        for sampler in self._samplers:
-            sampler.update_many(baseline_idx, baseline_dlt)
+        # see DuplicateFinder: False is the engine restore path, where
+        # the baseline already lives in the loaded state arrays.
+        if include_baseline:
+            baseline_idx = np.arange(self.universe, dtype=np.int64)
+            baseline_dlt = np.full(self.universe, -1, dtype=np.int64)
+            self._recovery.update_many(baseline_idx, baseline_dlt)
+            for sampler in self._samplers:
+                sampler.update_many(baseline_idx, baseline_dlt)
 
     def process_items(self, items) -> None:
         arr = np.asarray(items, dtype=np.int64)

@@ -39,6 +39,8 @@ class CountSketchHeavyHitters:
         self.universe = int(universe)
         self.p = float(p)
         self.phi = float(phi)
+        self.seed = int(seed)
+        self.m_const = float(m_const)
         self.threshold_factor = float(threshold_factor)
         self.m = max(2, int(np.ceil(m_const / phi**p)))
         rows = rows_for_universe(universe)
@@ -97,6 +99,8 @@ class CountMedianHeavyHitters:
             raise ValueError("phi must lie in (0, 1)")
         self.universe = int(universe)
         self.phi = float(phi)
+        self.seed = int(seed)
+        self.buckets_const = float(buckets_const)
         self.strict = bool(strict)
         self.threshold_factor = float(threshold_factor)
         buckets = max(4, int(np.ceil(buckets_const / phi)))

@@ -36,6 +36,8 @@ class FrequencyMomentEstimator:
         self.universe = int(universe)
         self.q = float(q)
         self.samples = int(samples)
+        self.eps = float(eps)
+        self.seed = int(seed)
         seeds = np.random.SeedSequence((seed, 0xF9)).generate_state(samples)
         self._samplers = [
             LpSampler(universe, p=1.0, eps=eps, delta=0.2, seed=int(s))

@@ -11,6 +11,7 @@ Commands
 ``duplicates``  find a duplicate in a random length-(n+1) item stream
 ``hh``          report Lp heavy hitters on a planted instance
 ``space``       print the space table for a structure across n
+``engine``      sharded ingestion: partition, checkpoint/resume, merge
 """
 
 from __future__ import annotations
@@ -57,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["lp", "ako", "l0", "fis", "duplicates"])
     space.add_argument("--logn", type=int, nargs="+",
                        default=[8, 12, 16])
+
+    engine = sub.add_parser(
+        "engine", help="sharded ingestion with checkpoint/restore")
+    engine.add_argument("--structure",
+                        choices=["count-sketch", "l0", "l1", "hh"],
+                        default="l0")
+    engine.add_argument("-n", "--universe", type=int, default=4096)
+    engine.add_argument("--updates", type=int, default=50_000)
+    engine.add_argument("--shards", type=int, default=4)
+    engine.add_argument("--chunk", type=int, default=4096)
+    engine.add_argument("--partition", choices=["hash", "round_robin"],
+                        default="hash")
+    engine.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -163,6 +177,78 @@ def _cmd_space(args) -> int:
     return 0
 
 
+def _cmd_engine(args) -> int:
+    """Drive the sharded engine end to end: ingest half the stream,
+    checkpoint, restore (proving mid-stream snapshots work), ingest the
+    rest, merge with the binary tree and query the merged structure."""
+    import time
+
+    from repro.core import L0Sampler, L1Sampler
+    from repro.apps.heavy_hitters import CountMedianHeavyHitters
+    from repro.sketch import CountSketch
+
+    n = args.universe
+    rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0xE17)))
+    indices = rng.integers(0, n, size=args.updates, dtype=np.int64)
+    deltas = rng.integers(-3, 10, size=args.updates, dtype=np.int64)
+    # plant a few hot coordinates so samplers and HH have a signal
+    hot = rng.choice(n, size=3, replace=False)
+    hot_mask = rng.random(args.updates) < 0.15
+    indices[hot_mask] = rng.choice(hot, size=int(hot_mask.sum()))
+    deltas[hot_mask] = np.abs(deltas[hot_mask]) + 1
+
+    factories = {
+        "count-sketch": lambda: CountSketch(n, m=32, rows=9,
+                                            seed=args.seed),
+        "l0": lambda: L0Sampler(n, delta=0.1, seed=args.seed),
+        "l1": lambda: L1Sampler(n, eps=0.5, seed=args.seed, rounds=4),
+        # strict=False: the demo stream mixes insertions and deletions,
+        # so the count-median rule (general updates) is the valid one.
+        "hh": lambda: CountMedianHeavyHitters(n, phi=0.1, seed=args.seed,
+                                              strict=False),
+    }
+    from repro.engine import ShardedPipeline
+
+    pipeline = ShardedPipeline(factories[args.structure],
+                               shards=args.shards,
+                               partition=args.partition,
+                               chunk_size=args.chunk)
+    print(f"engine: {args.structure} x {args.shards} shards "
+          f"({args.partition}, chunk={args.chunk}) over n={n}")
+
+    # snapshot on a chunk boundary when possible; for short streams
+    # fall back to mid-stream so the checkpoint always carries state
+    half = ((args.updates // 2 // args.chunk) * args.chunk
+            or args.updates // 2)
+    start = time.perf_counter()
+    pipeline.ingest(indices[:half], deltas[:half])
+    blob = pipeline.checkpoint()
+    pipeline = ShardedPipeline.restore(blob)
+    pipeline.ingest(indices[half:], deltas[half:])
+    elapsed = time.perf_counter() - start
+    print(f"ingested {pipeline.updates_ingested} updates "
+          f"(checkpoint/restore at {half}: {len(blob)} bytes) "
+          f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} updates/s")
+
+    merged = pipeline.merged()
+    if args.structure in ("l0", "l1"):
+        result = merged.sample()
+        if result.failed:
+            print(f"merged sample: FAIL ({result.reason})")
+        else:
+            print(f"merged sample: i={result.index} "
+                  f"x_i~{result.estimate:.1f}")
+    elif args.structure == "hh":
+        hitters = merged.heavy_hitters()
+        print(f"merged heavy hitters: {hitters.tolist()[:10]}"
+              f"{' ...' if hitters.size > 10 else ''}")
+    else:
+        idx, val = merged.best_sparse_approximation(sparsity=5)
+        print("merged top-5 estimates: "
+              + ", ".join(f"x[{i}]~{v:.0f}" for i, v in zip(idx, val)))
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -171,6 +257,7 @@ def main(argv=None) -> int:
         "duplicates": _cmd_duplicates,
         "hh": _cmd_hh,
         "space": _cmd_space,
+        "engine": _cmd_engine,
     }
     return handlers[args.command](args)
 

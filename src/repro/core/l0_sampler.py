@@ -115,6 +115,15 @@ class L0Sampler(StreamingSampler):
         self.update_many(np.array([index], dtype=np.int64),
                          np.array([delta], dtype=np.int64))
 
+    def _params(self) -> dict:
+        """Constructor kwargs rebuilding an empty twin (same linear map).
+
+        Engine contract (see :mod:`repro.engine.checkpoint`): equal
+        params imply identically-seeded levels and recoveries.
+        """
+        return dict(universe=self.universe, delta=self.delta,
+                    seed=self.seed, mode=self.mode, sparsity=self.sparsity)
+
     # -- sampling ---------------------------------------------------------------------
 
     def sample(self) -> SampleResult:
@@ -132,29 +141,47 @@ class L0Sampler(StreamingSampler):
 
     # -- distributed use ------------------------------------------------------------
 
+    def _map_mismatches(self, other) -> list[str]:
+        """The fields preventing a merge/subtract, human-readable.
+
+        Two samplers share a linear map iff every map-defining field
+        matches: universe (locator range), seed (level sets and
+        recovery hashes), mode (level derivation), sparsity (syndrome
+        count) and levels (recovery list length).  ``delta`` only
+        enters through ``sparsity``, so it is deliberately not
+        compared: explicitly-equal sparsities share a map even when
+        the deltas that suggested them differ.
+        """
+        if not isinstance(other, L0Sampler):
+            return [f"type: L0Sampler != {type(other).__name__}"]
+        return [f"{name}: {getattr(self, name)!r} != {getattr(other, name)!r}"
+                for name in ("universe", "seed", "mode", "sparsity", "levels")
+                if getattr(self, name) != getattr(other, name)]
+
+    def _require_same_map(self, other, verb: str) -> None:
+        mismatches = self._map_mismatches(other)
+        if mismatches:
+            raise ValueError(
+                f"cannot {verb} L0 samplers with different maps "
+                f"({'; '.join(mismatches)})")
+
     def merge(self, other: "L0Sampler") -> None:
         """In-place addition: afterwards this samples from ``x + y``.
 
         Linearity of every level recovery makes the sampler mergeable,
         which powers multi-party reconciliation (k sites each sketch
         their vector; the coordinator merges and samples the union's
-        support).  Requires identically seeded samplers.
+        support).  Requires identically seeded samplers; anything else
+        raises with the exact mismatched fields rather than silently
+        zipping incompatible level recoveries.
         """
-        if not (isinstance(other, L0Sampler)
-                and other.universe == self.universe
-                and other.seed == self.seed and other.mode == self.mode
-                and other.sparsity == self.sparsity):
-            raise ValueError("cannot merge samplers with different maps")
+        self._require_same_map(other, "merge")
         for mine, theirs in zip(self._recoveries, other._recoveries):
             mine.merge(theirs)
 
     def subtract(self, other: "L0Sampler") -> None:
         """In-place subtraction: afterwards this samples from ``x - y``."""
-        if not (isinstance(other, L0Sampler)
-                and other.universe == self.universe
-                and other.seed == self.seed and other.mode == self.mode
-                and other.sparsity == self.sparsity):
-            raise ValueError("cannot subtract samplers with different maps")
+        self._require_same_map(other, "subtract")
         for mine, theirs in zip(self._recoveries, other._recoveries):
             mine.subtract(theirs)
 

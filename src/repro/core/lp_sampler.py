@@ -184,6 +184,8 @@ class LpSampler(StreamingSampler):
         self.p = float(p)
         self.eps = float(eps)
         self.delta = float(delta)
+        self.seed = int(seed)
+        self.config = config
         v = repetitions(eps, delta) if rounds is None else int(rounds)
         self._repeated = RepeatedSampler(
             lambda round_seed: LpSamplerRound(universe, p, eps,

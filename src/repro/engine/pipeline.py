@@ -1,0 +1,259 @@
+"""Sharded ingestion of turnstile streams with merge-tree reconciliation.
+
+The paper's structures are all linear sketches, so shard-and-merge
+parallelism is theoretically free: partition the update stream across
+``K`` identically-seeded shard instances, let each absorb its share,
+and add the states back together — linearity guarantees the merged
+state sketches the full vector.  :class:`ShardedPipeline` makes that
+operational:
+
+* **Partitioning.**  ``hash`` (default) routes each coordinate to a
+  fixed shard via a Fibonacci-mix of the index — deterministic,
+  stateless, and immune to adversarial index clustering; or
+  ``round_robin`` assigns whole chunks to shards cyclically (better
+  cache behaviour for pre-batched feeds).
+* **Chunked driving.**  Ingestion walks the stream in ``chunk_size``
+  slices and fans each slice out through the shards' vectorised
+  ``update_many`` — the same fast path every sketch already optimises.
+* **Merging.**  ``merged()`` clones the shards and folds them with a
+  binary merge tree (`O(log K)` depth, the distributed-reduce shape),
+  returning a single query-able structure.  Shard compatibility is
+  validated by the engine; mismatched maps raise
+  :class:`~repro.engine.checkpoint.IncompatibleShards`.
+* **Checkpoint/restore.**  ``checkpoint()`` snapshots every shard plus
+  the pipeline's partition state; :meth:`ShardedPipeline.restore`
+  rebuilds the pipeline mid-stream and ingestion continues
+  deterministically (chunk boundaries and the round-robin cursor are
+  part of the snapshot).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from .checkpoint import (FORMAT_VERSION, IncompatibleShards, StaleCheckpoint,
+                         checkpoint as snapshot, clone, map_mismatches,
+                         merge_into, restore as restore_blob, spec_for)
+
+_PIPELINE_MAGIC = b"RPROPL"
+
+#: Fibonacci hashing multiplier (2^64 / golden ratio, odd).
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix_coordinates(indices: np.ndarray) -> np.ndarray:
+    """A cheap deterministic 64-bit mix so shard routing is unclustered."""
+    mixed = indices.astype(np.uint64) * _MIX
+    return mixed >> np.uint64(33)
+
+
+class ShardedPipeline:
+    """Partition a turnstile stream across K shard structures.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one shard.  Every call must
+        produce an identically-parameterised (same seed!) structure —
+        shards must share their linear map to be mergeable; the
+        constructor validates this via the engine registry.
+    shards:
+        The shard count K.
+    partition:
+        ``"hash"`` routes by coordinate (a coordinate's updates always
+        land on the same shard), ``"round_robin"`` routes whole chunks
+        cyclically.
+    chunk_size:
+        Slice length for chunked ingestion.
+    """
+
+    def __init__(self, factory, shards: int = 4, partition: str = "hash",
+                 chunk_size: int = 4096):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if partition not in ("hash", "round_robin"):
+            raise ValueError("partition must be 'hash' or 'round_robin'")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.partition = partition
+        self.chunk_size = int(chunk_size)
+        self.updates_ingested = 0
+        self._cursor = 0  # next round-robin shard
+        self._shards = [factory() for _ in range(int(shards))]
+        self._validate_shards()
+
+    def _validate_shards(self) -> None:
+        head = self._shards[0]
+        spec = spec_for(head)  # raises TypeError when unregistered
+        if not spec.shardable:
+            raise TypeError(
+                f"{type(head).__name__} is not shardable: it consumes "
+                f"item streams with a construction-time baseline, so K "
+                f"shards would not partition one turnstile stream "
+                f"(checkpoint/restore still applies)")
+        if not hasattr(head, "update_many"):
+            raise TypeError(f"{type(head).__name__} lacks update_many")
+        for other in self._shards[1:]:
+            mismatches = map_mismatches(head, other)
+            if mismatches:
+                raise IncompatibleShards(
+                    f"factory produced shards with different maps "
+                    f"({'; '.join(mismatches)}); every call must return "
+                    f"an identically-seeded structure")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shard_instances(self) -> list:
+        """The live shard structures (read-only use intended)."""
+        return list(self._shards)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, indices, deltas) -> int:
+        """Feed a batch of updates through the partition; returns count.
+
+        The batch is walked in ``chunk_size`` slices; each slice is
+        routed to shards and applied via their vectorised
+        ``update_many``.  Integer/modular-state structures are
+        insensitive to the slicing; for float-state structures a
+        checkpoint/resume run reproduces the uninterrupted run
+        byte-for-byte when ingestion batches split at ``chunk_size``
+        boundaries (each ``ingest`` call starts a fresh chunk).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas)
+        if dlt.dtype.kind not in "iu":
+            # The turnstile model is integer-valued; silently truncating
+            # real deltas would diverge from the single-instance run.
+            if not np.all(np.mod(dlt, 1) == 0):
+                raise ValueError("turnstile deltas must be integral "
+                                 "(got non-integer values)")
+        dlt = dlt.astype(np.int64)
+        if idx.shape != dlt.shape:
+            raise ValueError("indices and deltas must have equal length")
+        for start in range(0, idx.size, self.chunk_size):
+            self._ingest_chunk(idx[start:start + self.chunk_size],
+                               dlt[start:start + self.chunk_size])
+        self.updates_ingested += int(idx.size)
+        return int(idx.size)
+
+    def ingest_stream(self, stream) -> int:
+        """Feed an :class:`~repro.streams.model.UpdateStream`, pulling
+        its :meth:`~repro.streams.model.UpdateStream.chunks` directly."""
+        total = 0
+        for indices, deltas in stream.chunks(self.chunk_size):
+            self._ingest_chunk(indices, deltas)
+            total += int(indices.size)
+        self.updates_ingested += total
+        return total
+
+    def _ingest_chunk(self, idx: np.ndarray, dlt: np.ndarray) -> None:
+        k = len(self._shards)
+        if k == 1:
+            self._shards[0].update_many(idx, dlt)
+            return
+        if self.partition == "round_robin":
+            shard = self._shards[self._cursor]
+            self._cursor = (self._cursor + 1) % k
+            shard.update_many(idx, dlt)
+            return
+        routes = _mix_coordinates(idx) % np.uint64(k)
+        for s in range(k):
+            mask = routes == s
+            if mask.any():
+                self._shards[s].update_many(idx[mask], dlt[mask])
+
+    # -- reconciliation ------------------------------------------------------
+
+    def merged(self):
+        """One query-able structure equal to the single-instance run.
+
+        Folds the shards with a binary merge tree.  Only the merge
+        targets are cloned (``merge_into`` never mutates its source),
+        so the pipeline stays usable and ceil(K/2) state copies
+        suffice.  For integer/modular-state structures the result is
+        byte-identical to feeding the whole stream into one instance;
+        float-state structures agree up to reassociation ulps (see
+        :mod:`repro.engine.registry`).
+        """
+        level = []
+        for i in range(0, len(self._shards), 2):
+            accumulator = clone(self._shards[i])
+            if i + 1 < len(self._shards):
+                merge_into(accumulator, self._shards[i + 1])
+            level.append(accumulator)
+        while len(level) > 1:
+            paired = []
+            for i in range(0, len(level) - 1, 2):
+                merge_into(level[i], level[i + 1])
+                paired.append(level[i])
+            if len(level) % 2:
+                paired.append(level[-1])
+            level = paired
+        return level[0]
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Snapshot the whole pipeline (shards + partition state)."""
+        blobs = [snapshot(shard) for shard in self._shards]
+        header = json.dumps({
+            "format": FORMAT_VERSION,
+            "partition": self.partition,
+            "chunk_size": self.chunk_size,
+            "cursor": self._cursor,
+            "updates_ingested": self.updates_ingested,
+            "shards": len(blobs),
+        }).encode("utf-8")
+        out = io.BytesIO()
+        out.write(_PIPELINE_MAGIC)
+        out.write(len(header).to_bytes(4, "big"))
+        out.write(header)
+        for blob in blobs:
+            out.write(len(blob).to_bytes(8, "big"))
+            out.write(blob)
+        return out.getvalue()
+
+    @classmethod
+    def restore(cls, data: bytes) -> "ShardedPipeline":
+        """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting."""
+        if data[:len(_PIPELINE_MAGIC)] != _PIPELINE_MAGIC:
+            raise ValueError("not a pipeline checkpoint (bad magic)")
+        offset = len(_PIPELINE_MAGIC)
+        header_len = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        header = json.loads(data[offset:offset + header_len].decode("utf-8"))
+        offset += header_len
+        if header.get("format") != FORMAT_VERSION:
+            raise StaleCheckpoint(
+                f"pipeline checkpoint format {header.get('format')!r} is "
+                f"not supported (this build reads {FORMAT_VERSION})")
+        shards = []
+        for _ in range(header["shards"]):
+            blob_len = int.from_bytes(data[offset:offset + 8], "big")
+            offset += 8
+            shards.append(restore_blob(data[offset:offset + blob_len]))
+            offset += blob_len
+        if not shards:
+            raise ValueError("pipeline checkpoint holds no shards")
+        cursor = int(header["cursor"])
+        if not 0 <= cursor < len(shards):
+            raise ValueError(f"corrupt pipeline checkpoint: cursor "
+                             f"{cursor} out of range for "
+                             f"{len(shards)} shards")
+        pipeline = cls.__new__(cls)
+        pipeline.partition = header["partition"]
+        pipeline.chunk_size = int(header["chunk_size"])
+        pipeline.updates_ingested = int(header["updates_ingested"])
+        pipeline._cursor = cursor
+        pipeline._shards = shards
+        pipeline._validate_shards()
+        return pipeline

@@ -1,0 +1,215 @@
+"""Engine registrations: every checkpointable structure in one place.
+
+Leaves are the eight ``@register``-ed :class:`LinearSketch` subclasses
+(the :mod:`repro.sketch.serialize` registry is reused verbatim);
+composites — the samplers and the ``apps/`` wrappers — declare their
+constructor parameters and component children so the generic walk in
+:mod:`repro.engine.checkpoint` can snapshot, restore, clone and merge
+them.
+
+Exactness bookkeeping (see :class:`~repro.engine.checkpoint.EngineSpec`):
+structures whose counters stay integral under integer turnstile
+updates — everything except the p-stable sketch and the Lp sampler
+family that scales updates by real factors — are marked ``exact``:
+their sharded-and-merged state is byte-identical to the single-stream
+state because integer and GF(p) addition are associative.  Float-state
+structures merge correctly but reassociation can move the last ulp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..apps.duplicates import DuplicateFinder, ShortStreamDuplicateFinder
+from ..apps.heavy_hitters import (CountMedianHeavyHitters,
+                                  CountSketchHeavyHitters)
+from ..apps.moments import FrequencyMomentEstimator
+from ..core.l0_sampler import L0Sampler
+from ..core.lp_sampler import L1Sampler, LpSampler, LpSamplerRound
+from ..core.params import DEFAULT_CONFIG, LpSamplerConfig
+from ..sketch.serialize import _REGISTRY as _LINEAR_REGISTRY
+from .checkpoint import EngineSpec, register_linear_sketch, register_spec
+
+import numpy as np
+
+#: Linear-sketch leaves whose state arrays hold real (non-integral)
+#: values: the p-stable projection accumulates irrational coefficients.
+_FLOAT_STATE_LEAVES = {"StableSketch"}
+
+
+def _register_leaves() -> None:
+    for name, cls in _LINEAR_REGISTRY.items():
+        register_linear_sketch(cls, exact=name not in _FLOAT_STATE_LEAVES)
+
+
+def _config_dict(config: LpSamplerConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def _config_from(params: dict) -> LpSamplerConfig:
+    raw = params.get("config")
+    if raw is None:
+        return DEFAULT_CONFIG
+    return LpSamplerConfig(**raw)
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _pcg64_state_array(generator: np.random.Generator) -> np.ndarray:
+    """Pack a PCG64 generator's full state into a uint64[6] array.
+
+    The L0 sampler's final uniform choice consumes this generator, so a
+    checkpoint must carry it for post-restore ``sample()`` calls to
+    continue (not replay) the uninterrupted sequence.
+    """
+    state = generator.bit_generator.state
+    inner = state["state"]
+    return np.array([inner["state"] >> 64, inner["state"] & _MASK64,
+                     inner["inc"] >> 64, inner["inc"] & _MASK64,
+                     state["has_uint32"], state["uinteger"]],
+                    dtype=np.uint64)
+
+
+def _load_pcg64_state(generator: np.random.Generator,
+                      packed: np.ndarray) -> None:
+    words = [int(w) for w in np.asarray(packed, dtype=np.uint64)]
+    generator.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {"state": (words[0] << 64) | words[1],
+                  "inc": (words[2] << 64) | words[3]},
+        "has_uint32": words[4],
+        "uinteger": words[5],
+    }
+
+
+def _set_l0_choice_rng(obj, arrays) -> None:
+    _load_pcg64_state(obj._choice_rng, arrays[0])
+
+
+def _register_samplers() -> None:
+    register_spec(EngineSpec(
+        cls=L0Sampler,
+        params=lambda obj: obj._params(),
+        build=lambda params: L0Sampler(**params),
+        children=lambda obj: list(obj._recoveries),
+        arrays=lambda obj: [_pcg64_state_array(obj._choice_rng)],
+        set_arrays=_set_l0_choice_rng,
+        merge=lambda obj, other: obj.merge(other),
+        exact=True,
+    ))
+
+    register_spec(EngineSpec(
+        cls=LpSamplerRound,
+        params=lambda obj: dict(universe=obj.universe, p=obj.p, eps=obj.eps,
+                                seed=obj.seed,
+                                config=_config_dict(obj.config)),
+        build=lambda params: LpSamplerRound(
+            params["universe"], params["p"], params["eps"],
+            seed=params["seed"], config=_config_from(params)),
+        children=lambda obj: [obj._count_sketch, obj._norm_sketch,
+                              obj._tail_sketch],
+        exact=False,  # feeds real-scaled values into its sketches
+    ))
+
+    register_spec(EngineSpec(
+        cls=LpSampler,
+        params=lambda obj: dict(universe=obj.universe, p=obj.p, eps=obj.eps,
+                                delta=obj.delta, seed=obj.seed,
+                                rounds=obj.rounds,
+                                config=_config_dict(obj.config)),
+        build=lambda params: LpSampler(
+            params["universe"], params["p"], params["eps"],
+            delta=params["delta"], seed=params["seed"],
+            rounds=params["rounds"], config=_config_from(params)),
+        children=lambda obj: list(obj._repeated.instances),
+        exact=False,
+    ))
+
+    register_spec(EngineSpec(
+        cls=L1Sampler,
+        params=lambda obj: dict(universe=obj.universe, eps=obj.eps,
+                                delta=obj.delta, seed=obj.seed,
+                                rounds=obj.rounds,
+                                config=_config_dict(obj.config)),
+        build=lambda params: L1Sampler(
+            params["universe"], eps=params["eps"], delta=params["delta"],
+            seed=params["seed"], rounds=params["rounds"],
+            config=_config_from(params)),
+        children=lambda obj: list(obj._repeated.instances),
+        exact=False,
+    ))
+
+
+def _register_apps() -> None:
+    # The duplicate finders consume *item* streams and apply the -1
+    # baseline once at construction, so K independently-built shards do
+    # not partition a turnstile stream: checkpointable, not shardable.
+    register_spec(EngineSpec(
+        cls=DuplicateFinder,
+        params=lambda obj: dict(universe=obj.universe, delta=obj.delta,
+                                seed=obj.seed,
+                                sampler_rounds=obj.sampler_rounds),
+        build=lambda params: DuplicateFinder(**params,
+                                             include_baseline=False),
+        children=lambda obj: list(obj._samplers),
+        exact=False,
+        shardable=False,
+    ))
+
+    register_spec(EngineSpec(
+        cls=ShortStreamDuplicateFinder,
+        params=lambda obj: dict(universe=obj.universe, s=obj.s,
+                                delta=obj.delta, seed=obj.seed,
+                                sampler_rounds=obj.sampler_rounds),
+        build=lambda params: ShortStreamDuplicateFinder(
+            **params, include_baseline=False),
+        children=lambda obj: [obj._recovery] + list(obj._samplers),
+        exact=False,
+        shardable=False,
+    ))
+
+    register_spec(EngineSpec(
+        cls=CountSketchHeavyHitters,
+        params=lambda obj: dict(universe=obj.universe, p=obj.p, phi=obj.phi,
+                                seed=obj.seed, m_const=obj.m_const,
+                                threshold_factor=obj.threshold_factor),
+        build=lambda params: CountSketchHeavyHitters(**params),
+        children=lambda obj: [obj._sketch, obj._norm],
+        exact=False,  # carries a p-stable norm sketch
+    ))
+
+    register_spec(EngineSpec(
+        cls=CountMedianHeavyHitters,
+        params=lambda obj: dict(universe=obj.universe, phi=obj.phi,
+                                seed=obj.seed,
+                                buckets_const=obj.buckets_const,
+                                strict=obj.strict,
+                                threshold_factor=obj.threshold_factor),
+        build=lambda params: CountMedianHeavyHitters(**params),
+        children=lambda obj: [obj._sketch],
+        # own state: the running update sum (= ||x||_1 strict turnstile);
+        # merging shards adds the partial sums, exactly.
+        arrays=lambda obj: [np.array([obj._sum], dtype=np.int64)],
+        set_arrays=_set_count_median_sum,
+        exact=True,
+    ))
+
+    register_spec(EngineSpec(
+        cls=FrequencyMomentEstimator,
+        params=lambda obj: dict(universe=obj.universe, q=obj.q,
+                                samples=obj.samples, eps=obj.eps,
+                                seed=obj.seed),
+        build=lambda params: FrequencyMomentEstimator(**params),
+        children=lambda obj: [obj._norm] + list(obj._samplers),
+        exact=False,
+    ))
+
+
+def _set_count_median_sum(obj, arrays) -> None:
+    obj._sum = np.int64(np.asarray(arrays[0], dtype=np.int64)[0])
+
+
+_register_leaves()
+_register_samplers()
+_register_apps()

@@ -84,6 +84,19 @@ class UpdateStream:
         for i, u in zip(self.indices.tolist(), self.deltas.tolist()):
             yield Update(i, u)
 
+    def chunks(self, chunk_size: int) -> Iterator[tuple[np.ndarray,
+                                                        np.ndarray]]:
+        """Contiguous ``(indices, deltas)`` slices of at most ``chunk_size``.
+
+        The engine's sharded ingestion path: a pipeline pulls chunks
+        and fans each one out across its shards' ``update_many``.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        for start in range(0, len(self), chunk_size):
+            stop = start + chunk_size
+            yield self.indices[start:stop], self.deltas[start:stop]
+
     def final_vector(self) -> np.ndarray:
         """The exact vector the stream defines (ground truth for tests)."""
         vec = np.zeros(self.universe, dtype=np.int64)

@@ -1,0 +1,139 @@
+"""Shared case registry for the engine test suites.
+
+One entry per engine-registered structure, with a factory small enough
+that property tests can afford dozens of instantiations.  ``exact``
+mirrors the registry's claim that sharded-merge state is byte-identical
+to the single-stream state (integer/modular counters); float-state
+structures are compared with a tight ``allclose`` instead.
+
+``item_stream`` marks the wrappers that consume item streams via
+``process_items`` (and are therefore checkpointable but not shardable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.apps.duplicates import DuplicateFinder, ShortStreamDuplicateFinder
+from repro.apps.heavy_hitters import (CountMedianHeavyHitters,
+                                      CountSketchHeavyHitters)
+from repro.apps.moments import FrequencyMomentEstimator
+from repro.core import L0Sampler, L1Sampler, LpSampler, LpSamplerRound
+from repro.recovery import (IBLTSparseRecovery, OneSparseDetector,
+                            SyndromeSparseRecovery)
+from repro.sketch import (AMSSketch, CountMin, CountSketch, L0Estimator,
+                          StableSketch)
+
+
+@dataclass(frozen=True)
+class EngineCase:
+    """A structure under test: how to build it and what to expect."""
+
+    name: str
+    factory: Callable[[int, int], Any]   # (universe, seed) -> structure
+    exact: bool = True                   # sharded merge is byte-identical
+    shardable: bool = True
+    item_stream: bool = False            # feeds via process_items
+
+
+CASES = [
+    EngineCase("CountSketch",
+               lambda n, s: CountSketch(n, m=6, rows=5, seed=s)),
+    EngineCase("CountMin",
+               lambda n, s: CountMin(n, buckets=16, rows=5, seed=s)),
+    EngineCase("AMSSketch",
+               lambda n, s: AMSSketch(n, groups=5, per_group=4, seed=s)),
+    EngineCase("StableSketch",
+               lambda n, s: StableSketch(n, 1.0, rows=9, seed=s),
+               exact=False),
+    EngineCase("L0Estimator",
+               lambda n, s: L0Estimator(n, reps=4, seed=s)),
+    EngineCase("SyndromeSparseRecovery",
+               lambda n, s: SyndromeSparseRecovery(n, sparsity=4, seed=s)),
+    EngineCase("IBLTSparseRecovery",
+               lambda n, s: IBLTSparseRecovery(n, sparsity=4, seed=s)),
+    EngineCase("OneSparseDetector",
+               lambda n, s: OneSparseDetector(n, seed=s)),
+    EngineCase("L0Sampler",
+               lambda n, s: L0Sampler(n, delta=0.2, seed=s)),
+    EngineCase("LpSamplerRound",
+               lambda n, s: LpSamplerRound(n, 1.3, 0.3, seed=s),
+               exact=False),
+    EngineCase("LpSampler",
+               lambda n, s: LpSampler(n, 1.0, 0.3, delta=0.3, seed=s,
+                                      rounds=2),
+               exact=False),
+    EngineCase("L1Sampler",
+               lambda n, s: L1Sampler(n, eps=0.4, seed=s, rounds=2),
+               exact=False),
+    EngineCase("CountSketchHeavyHitters",
+               lambda n, s: CountSketchHeavyHitters(n, p=1.0, phi=0.2,
+                                                    seed=s),
+               exact=False),
+    EngineCase("CountMedianHeavyHitters",
+               lambda n, s: CountMedianHeavyHitters(n, phi=0.2, seed=s)),
+    EngineCase("FrequencyMomentEstimator",
+               lambda n, s: FrequencyMomentEstimator(n, q=2.0, samples=2,
+                                                     eps=0.4, seed=s),
+               exact=False),
+    EngineCase("DuplicateFinder",
+               lambda n, s: DuplicateFinder(n, delta=0.25, seed=s,
+                                            sampler_rounds=2),
+               exact=False, shardable=False, item_stream=True),
+    EngineCase("ShortStreamDuplicateFinder",
+               lambda n, s: ShortStreamDuplicateFinder(n, s=2, delta=0.25,
+                                                       seed=s,
+                                                       sampler_rounds=2),
+               exact=False, shardable=False, item_stream=True),
+]
+
+SHARDABLE = [case for case in CASES if case.shardable]
+
+CASE_IDS = [case.name for case in CASES]
+SHARDABLE_IDS = [case.name for case in SHARDABLE]
+
+
+def random_turnstile(universe: int, length: int, seed: int):
+    """A seeded general turnstile workload (insertions and deletions)."""
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0xCA5E)))
+    indices = rng.integers(0, universe, size=length, dtype=np.int64)
+    deltas = rng.integers(-6, 12, size=length, dtype=np.int64)
+    deltas[deltas == 0] = 1
+    return indices, deltas
+
+
+def random_items(universe: int, length: int, seed: int) -> np.ndarray:
+    """A seeded item stream over the alphabet [0, universe)."""
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0x17E)))
+    return rng.integers(0, universe, size=length, dtype=np.int64)
+
+
+def feed(case: EngineCase, obj, universe: int, length: int,
+         seed: int, parts: int = 1) -> None:
+    """Feed a seeded workload in ``parts`` equal batched calls."""
+    if case.item_stream:
+        payload = random_items(universe, length, seed)
+        splits = np.array_split(payload, parts)
+        for part in splits:
+            obj.process_items(part)
+    else:
+        indices, deltas = random_turnstile(universe, length, seed)
+        for lo in range(parts):
+            sl = slice(lo * length // parts, (lo + 1) * length // parts)
+            obj.update_many(indices[sl], deltas[sl])
+
+
+def states_equal(a, b, exact: bool) -> bool:
+    """Byte-identical for exact cases, tight allclose otherwise."""
+    from repro.engine import state_arrays
+
+    mine, theirs = state_arrays(a), state_arrays(b)
+    if len(mine) != len(theirs):
+        return False
+    if exact:
+        return all(np.array_equal(x, y) for x, y in zip(mine, theirs))
+    return all(np.allclose(x, y, rtol=1e-9, atol=1e-9)
+               for x, y in zip(mine, theirs))

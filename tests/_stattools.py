@@ -1,0 +1,159 @@
+"""Shared statistical helpers for sampler distribution tests.
+
+The distributional guarantees in this library are inherently
+statistical; before this module every test pinned its own ad-hoc
+absolute tolerance.  These helpers centralise the methodology:
+
+* seeded trial runners (deterministic suites, rotatable seeds),
+* chi-square goodness-of-fit p-values against a target distribution
+  (with small-expected-count bucket pooling, the standard fix for the
+  chi-square approximation),
+* total-variation distance with optional head-coarsening (comparing
+  only the k heaviest coordinates plus an aggregated tail bucket —
+  coarsening never increases TV, so any bound on the full statistic
+  transfers, and it removes the sqrt(support/samples) noise floor).
+
+Assertion style: tests pass an ``alpha`` (how unlucky a *correct*
+implementation is allowed to be under the pinned seed) rather than a
+magic per-test tolerance.  Alphas are generous (1e-3) because seeds
+are fixed: the goal is detecting broken samplers, not borderline ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.streams import vector_to_stream
+
+
+def collect_indices(factory, vector, trials: int, stream_seed: int = 99,
+                    seed_base: int = 0) -> list[int]:
+    """Sampled indices from ``trials`` independent samplers on one stream.
+
+    ``factory(seed)`` builds a sampler; failures are dropped (the
+    caller asserts on the success count separately when it matters).
+    """
+    stream = vector_to_stream(vector, seed=stream_seed)
+    indices = []
+    for t in range(trials):
+        sampler = factory(seed_base + t)
+        stream.apply_to(sampler)
+        result = sampler.sample()
+        if not result.failed:
+            indices.append(int(result.index))
+    return indices
+
+
+def frequency_counts(indices, universe: int) -> np.ndarray:
+    counts = np.zeros(universe, dtype=np.float64)
+    for i in indices:
+        counts[i] += 1
+    return counts
+
+
+def pool_small_buckets(counts: np.ndarray, expected: np.ndarray,
+                       min_expected: float = 5.0):
+    """Merge buckets until every expected count is >= ``min_expected``.
+
+    The chi-square approximation needs non-tiny expectations; buckets
+    below the threshold are pooled into one (sorted by expectation so
+    pooling is deterministic).
+    """
+    order = np.argsort(expected)
+    counts, expected = counts[order], expected[order]
+    small = expected < min_expected
+    if small.sum() <= 1:
+        return counts, expected
+    pooled_c = np.append(counts[~small], counts[small].sum())
+    pooled_e = np.append(expected[~small], expected[small].sum())
+    if pooled_e[-1] < min_expected and pooled_e.size > 1:
+        pooled_c[-2] += pooled_c[-1]
+        pooled_e[-2] += pooled_e[-1]
+        pooled_c, pooled_e = pooled_c[:-1], pooled_e[:-1]
+    return pooled_c, pooled_e
+
+
+def chisquare_gof_pvalue(indices, probabilities: np.ndarray) -> float:
+    """Goodness-of-fit p-value of sampled indices vs a target law.
+
+    ``probabilities`` is over the whole universe; zero-probability
+    coordinates must not occur (asserted — sampling an impossible
+    coordinate is a correctness bug, not statistical noise).
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    counts = frequency_counts(indices, probs.size)
+    assert float(counts[probs == 0].sum()) == 0.0, \
+        "sampler returned a zero-probability coordinate"
+    support = np.flatnonzero(probs)
+    total = float(counts.sum())
+    expected = probs[support] * total
+    observed, expected = pool_small_buckets(counts[support], expected)
+    if expected.size < 2:
+        return 1.0
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    return float(stats.chi2.sf(statistic, df=expected.size - 1))
+
+
+def chisquare_uniform_pvalue(indices, support) -> float:
+    """Uniformity p-value over an explicit support set."""
+    support = np.asarray(support, dtype=np.int64)
+    probs = np.zeros(int(support.max()) + 1, dtype=np.float64)
+    probs[support] = 1.0 / support.size
+    return chisquare_gof_pvalue(indices, probs)
+
+
+def tv_distance(p, q) -> float:
+    """Total variation distance between two distributions."""
+    return 0.5 * float(np.abs(np.asarray(p, dtype=np.float64)
+                              - np.asarray(q, dtype=np.float64)).sum())
+
+
+def empirical_tv(indices, probabilities: np.ndarray,
+                 head: int | None = None) -> float:
+    """TV between the empirical sample law and the target law.
+
+    ``head = k`` coarsens both laws to the k heaviest target
+    coordinates plus one aggregated tail bucket before comparing.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    counts = frequency_counts(indices, probs.size)
+    if counts.sum() == 0:
+        return 1.0
+    emp = counts / counts.sum()
+    if head is not None and head < probs.size:
+        top = np.argsort(-probs)[:head]
+        emp = np.append(emp[top], 1.0 - emp[top].sum())
+        probs = np.append(probs[top], 1.0 - probs[top].sum())
+    return tv_distance(emp, probs)
+
+
+def assert_binomial_fraction(successes: int, total: int, prob: float,
+                             alpha: float = 1e-3) -> None:
+    """``successes`` out of ``total`` is consistent with rate ``prob``
+    (two-sided exact binomial test)."""
+    pvalue = float(stats.binomtest(successes, total, prob).pvalue)
+    assert pvalue > alpha, \
+        (f"binomial test: {successes}/{total} vs rate {prob:.4f} "
+         f"gives p-value {pvalue:.2e} <= alpha {alpha:.0e}")
+
+
+def assert_matches_distribution(indices, probabilities,
+                                alpha: float = 1e-3,
+                                min_samples: int = 50) -> None:
+    """The sampler's output law is consistent with the target law."""
+    assert len(indices) >= min_samples, \
+        f"only {len(indices)} successful samples (need {min_samples})"
+    pvalue = chisquare_gof_pvalue(indices, probabilities)
+    assert pvalue > alpha, \
+        f"chi-square GOF p-value {pvalue:.2e} <= alpha {alpha:.0e}"
+
+
+def assert_uniform_over(indices, support, alpha: float = 1e-3,
+                        min_samples: int = 50) -> None:
+    """The sampler is uniform over an explicit support set."""
+    assert len(indices) >= min_samples, \
+        f"only {len(indices)} successful samples (need {min_samples})"
+    pvalue = chisquare_uniform_pvalue(indices, support)
+    assert pvalue > alpha, \
+        f"uniformity p-value {pvalue:.2e} <= alpha {alpha:.0e}"

@@ -1,0 +1,176 @@
+"""Serialization round-trips for every engine-registered type, plus
+wire-format hardening (stale versions, garbage, tampered headers)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler
+from repro.engine import (FORMAT_VERSION, ShardedPipeline, StaleCheckpoint,
+                          checkpoint, clone, restore, state_arrays)
+
+from _engine_cases import CASES, CASE_IDS, feed
+
+
+def _tamper_header(blob: bytes, mutate) -> bytes:
+    """Decode the JSON header, apply ``mutate(dict)``, re-encode."""
+    magic, rest = blob[:6], blob[6:]
+    header_len = int.from_bytes(rest[:4], "big")
+    header = json.loads(rest[4:4 + header_len].decode("utf-8"))
+    mutate(header)
+    encoded = json.dumps(header).encode("utf-8")
+    return (magic + len(encoded).to_bytes(4, "big") + encoded
+            + rest[4 + header_len:])
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+class TestRoundtrip:
+    def test_state_survives(self, case):
+        original = case.factory(128, 5)
+        feed(case, original, 128, 90, 5)
+        twin = restore(checkpoint(original))
+        assert type(twin) is type(original)
+        for a, b in zip(state_arrays(original), state_arrays(twin)):
+            assert np.array_equal(a, b)
+            assert a.dtype == b.dtype
+
+    def test_twin_continues_the_same_linear_map(self, case):
+        original = case.factory(128, 5)
+        feed(case, original, 128, 40, 5)
+        twin = restore(checkpoint(original))
+        feed(case, original, 128, 40, 6)
+        feed(case, twin, 128, 40, 6)
+        for a, b in zip(state_arrays(original), state_arrays(twin)):
+            assert np.array_equal(a, b)
+
+    def test_clone_is_independent(self, case):
+        original = case.factory(128, 5)
+        feed(case, original, 128, 40, 5)
+        twin = clone(original)
+        before = [np.array(a, copy=True) for a in state_arrays(twin)]
+        feed(case, original, 128, 40, 7)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(before, state_arrays(twin)))
+
+
+class TestQueryRNGContinuity:
+    def test_l0_choice_rng_survives_checkpoint(self):
+        """sample() consumes the choice RNG; a restored sampler must
+        *continue* the draw sequence, not replay it from the seed."""
+        sampler = L0Sampler(256, delta=0.2, seed=8)
+        rng = np.random.default_rng(3)
+        sampler.update_many(rng.integers(0, 256, 120),
+                            rng.integers(1, 5, 120))
+        for _ in range(3):
+            sampler.sample()           # advance the choice RNG
+        twin = restore(checkpoint(sampler))
+        for _ in range(5):
+            mine, theirs = sampler.sample(), twin.sample()
+            assert mine.failed == theirs.failed
+            assert mine.index == theirs.index
+
+
+class TestRestoreSkipsBaselineRebuild:
+    def test_duplicate_finder_twin_is_loaded_not_refed(self):
+        """The restore path builds an empty twin (include_baseline=False)
+        and loads state; behaviour must match the normal constructor."""
+        from repro.apps.duplicates import DuplicateFinder
+        from repro.streams import duplicate_stream
+
+        instance = duplicate_stream(128, seed=6)
+        finder = DuplicateFinder(128, delta=0.2, seed=9, sampler_rounds=4)
+        finder.process_items(instance.items[:70])
+        twin = restore(checkpoint(finder))
+        for a, b in zip(state_arrays(finder), state_arrays(twin)):
+            assert np.array_equal(a, b)
+        finder.process_items(instance.items[70:])
+        twin.process_items(instance.items[70:])
+        assert str(finder.result()) == str(twin.result())
+
+    def test_empty_twin_really_lacks_the_baseline(self):
+        from repro.apps.duplicates import DuplicateFinder
+
+        empty = DuplicateFinder(64, delta=0.25, seed=1, sampler_rounds=2,
+                                include_baseline=False)
+        assert all(not arr.any() for arr in state_arrays(empty))
+
+
+class TestWireFormat:
+    def _blob(self):
+        sampler = L0Sampler(128, delta=0.2, seed=4)
+        sampler.update_many(np.arange(10), np.arange(1, 11))
+        return checkpoint(sampler)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            restore(b"definitely not a checkpoint")
+
+    def test_legacy_sketch_wire_format_rejected(self):
+        """serialize.py blobs (RPRO1 magic) are a different format."""
+        from repro.sketch import CountSketch
+
+        legacy = CountSketch(64, m=4, rows=5, seed=1).to_bytes()
+        with pytest.raises(ValueError, match="magic"):
+            restore(legacy)
+
+    def test_truncated_blob_rejected(self):
+        blob = self._blob()
+        for cut in (8, 100, len(blob) - 40):
+            with pytest.raises(ValueError):
+                restore(blob[:cut])
+
+    def test_stale_version_rejected(self):
+        def age(header):
+            header["format"] = FORMAT_VERSION - 1
+
+        stale = _tamper_header(self._blob(), age)
+        with pytest.raises(StaleCheckpoint, match="format"):
+            restore(stale)
+
+    def test_future_version_rejected(self):
+        def advance(header):
+            header["format"] = FORMAT_VERSION + 1
+
+        with pytest.raises(StaleCheckpoint):
+            restore(_tamper_header(self._blob(), advance))
+
+    def test_unknown_class_rejected(self):
+        def rename(header):
+            header["class"] = "L0Samplezz"
+
+        with pytest.raises(ValueError, match="unknown"):
+            restore(_tamper_header(self._blob(), rename))
+
+    def test_tampered_params_shape_mismatch_rejected(self):
+        def shrink(header):
+            header["params"]["sparsity"] = 2  # shrinks the syndromes
+
+        with pytest.raises(ValueError, match="mismatch"):
+            restore(_tamper_header(self._blob(), shrink))
+
+    def test_pipeline_magic_rejected(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        blob = pipeline.checkpoint()
+        with pytest.raises(ValueError, match="magic"):
+            restore(blob)              # structure restore on pipeline blob
+        with pytest.raises(ValueError, match="magic"):
+            ShardedPipeline.restore(self._blob())  # and vice versa
+
+    def test_pipeline_stale_version_rejected(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        blob = bytearray(pipeline.checkpoint())
+        header_len = int.from_bytes(blob[6:10], "big")
+        header = json.loads(bytes(blob[10:10 + header_len]))
+        header["format"] = FORMAT_VERSION + 3
+        encoded = json.dumps(header).encode("utf-8")
+        tampered = (bytes(blob[:6]) + len(encoded).to_bytes(4, "big")
+                    + encoded + bytes(blob[10 + header_len:]))
+        with pytest.raises(StaleCheckpoint):
+            ShardedPipeline.restore(tampered)
+
+    def test_unregistered_type_has_no_checkpoint(self):
+        from repro.core import ReservoirSampler
+
+        with pytest.raises(TypeError, match="not registered"):
+            checkpoint(ReservoirSampler(64, seed=1))

@@ -1,0 +1,247 @@
+"""Property suite for the sharded engine (linearity made testable).
+
+For every engine-registered structure:
+
+* **Shard/merge linearity** — a K-shard :class:`ShardedPipeline` run
+  over a random turnstile stream, merged with the binary tree, yields
+  state equal to the single-instance run: byte-identical (exact array
+  equality) for integer/modular-state structures, allclose at 1e-9 for
+  the float-state ones (reassociation ulps only; see
+  repro/engine/registry.py).
+* **Checkpoint/restore/continue** — snapshotting mid-stream, restoring
+  and finishing the stream is byte-identical to the uninterrupted run,
+  for *every* structure including the float-state ones (restore is
+  bit-exact and the remaining updates replay with identical batching).
+
+Seeds, universes and chunk sizes are rotated per parametrised variant
+so the guarantees do not hinge on one lucky configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler
+from repro.engine import (IncompatibleShards, ShardedPipeline, checkpoint,
+                          is_exact, is_shardable, registered_types, restore,
+                          state_arrays)
+
+from _engine_cases import (CASES, CASE_IDS, SHARDABLE, SHARDABLE_IDS,
+                           EngineCase, feed, random_turnstile, states_equal)
+
+#: Rotated configurations: (variant seed, universe, shard count, chunk).
+VARIANTS = [
+    (0, 96, 2, 16),
+    (1, 193, 3, 37),
+    (2, 256, 4, 64),
+]
+
+
+def test_every_registered_type_has_a_case():
+    """The suite must cover the whole registry — no silent gaps."""
+    covered = {case.name for case in CASES}
+    assert covered == set(registered_types())
+
+
+def test_case_flags_mirror_registry():
+    for case in CASES:
+        built = case.factory(64, 1)
+        assert is_exact(built) == case.exact, case.name
+        assert is_shardable(built) == case.shardable, case.name
+
+
+@pytest.mark.parametrize("variant", range(len(VARIANTS)))
+@pytest.mark.parametrize("case", SHARDABLE, ids=SHARDABLE_IDS)
+class TestShardMergeEqualsSingleStream:
+    def test_merged_state_matches(self, case: EngineCase, variant: int):
+        seed, universe, shards, chunk = VARIANTS[variant]
+        length = 30 * chunk // 10
+        partition = "hash" if variant % 2 == 0 else "round_robin"
+
+        single = case.factory(universe, seed + 7)
+        indices, deltas = random_turnstile(universe, length, seed)
+        single.update_many(indices, deltas)
+
+        pipeline = ShardedPipeline(lambda: case.factory(universe, seed + 7),
+                                   shards=shards, partition=partition,
+                                   chunk_size=chunk)
+        pipeline.ingest(indices, deltas)
+        merged = pipeline.merged()
+        assert states_equal(single, merged, case.exact)
+
+    def test_merge_is_nondestructive(self, case: EngineCase, variant: int):
+        """merged() clones; the pipeline keeps ingesting afterwards."""
+        seed, universe, shards, chunk = VARIANTS[variant]
+        pipeline = ShardedPipeline(lambda: case.factory(universe, seed),
+                                   shards=shards, chunk_size=chunk)
+        indices, deltas = random_turnstile(universe, 2 * chunk, seed)
+        pipeline.ingest(indices, deltas)
+        before = [np.array(a, copy=True)
+                  for a in state_arrays(pipeline.merged())]
+        pipeline.merged().update_many(indices[:5], deltas[:5])
+        after = state_arrays(pipeline.merged())
+        assert all(np.array_equal(x, y) for x, y in zip(before, after))
+
+
+@pytest.mark.parametrize("variant", range(len(VARIANTS)))
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+class TestCheckpointRestoreContinue:
+    def test_resumed_equals_uninterrupted(self, case: EngineCase,
+                                          variant: int):
+        seed, universe, _, _ = VARIANTS[variant]
+        length = 120
+
+        half = length // 2
+        uninterrupted = case.factory(universe, seed + 3)
+        feed(case, uninterrupted, universe, length, seed, parts=2)
+
+        # Same workload halves, but with a snapshot/restore in between.
+        resumed = case.factory(universe, seed + 3)
+        if case.item_stream:
+            from _engine_cases import random_items
+            items = random_items(universe, length, seed)
+            resumed.process_items(items[:half])
+            resumed = restore(checkpoint(resumed))
+            resumed.process_items(items[half:])
+        else:
+            indices, deltas = random_turnstile(universe, length, seed)
+            resumed.update_many(indices[:half], deltas[:half])
+            resumed = restore(checkpoint(resumed))
+            resumed.update_many(indices[half:], deltas[half:])
+
+        # byte-identical for every structure: restore is bit-exact and
+        # the second half replays with the same update_many batching.
+        assert states_equal(uninterrupted, resumed, exact=True)
+
+    def test_resumed_queries_agree(self, case: EngineCase, variant: int):
+        seed, universe, _, _ = VARIANTS[variant]
+        obj = case.factory(universe, seed + 5)
+        feed(case, obj, universe, 80, seed)
+        twin = restore(checkpoint(obj))
+        if hasattr(obj, "sample"):
+            mine, theirs = obj.sample(), twin.sample()
+            assert mine.failed == theirs.failed
+            assert mine.index == theirs.index
+        elif hasattr(obj, "heavy_hitters"):
+            assert np.array_equal(obj.heavy_hitters(),
+                                  twin.heavy_hitters())
+        elif hasattr(obj, "result"):
+            mine, theirs = obj.result(), twin.result()
+            assert str(mine) == str(theirs)
+        elif hasattr(obj, "recover"):
+            mine, theirs = obj.recover(), twin.recover()
+            assert mine.dense == theirs.dense
+        elif hasattr(obj, "decide"):
+            assert obj.decide() == twin.decide()
+        elif hasattr(obj, "estimate_all"):
+            assert np.array_equal(obj.estimate_all(), twin.estimate_all())
+        elif hasattr(obj, "estimate_many"):
+            everyone = np.arange(obj.universe, dtype=np.int64)
+            assert np.array_equal(obj.estimate_many(everyone),
+                                  twin.estimate_many(everyone))
+        elif hasattr(obj, "norm_estimate"):
+            assert obj.norm_estimate() == twin.norm_estimate()
+        elif hasattr(obj, "l2_squared"):
+            assert obj.l2_squared() == twin.l2_squared()
+        else:
+            assert obj.estimate() == twin.estimate()
+
+
+class TestPipelineCheckpointResume:
+    @pytest.mark.parametrize("case",
+                             [c for c in SHARDABLE
+                              if c.name in ("L0Sampler", "StableSketch",
+                                            "LpSamplerRound",
+                                            "CountMedianHeavyHitters")],
+                             ids=lambda c: c.name)
+    def test_pipeline_resume_byte_identical(self, case: EngineCase):
+        """Pipeline-level snapshot/resume vs an uninterrupted pipeline:
+        byte-identical merged state for float cases too, because both
+        runs share chunk boundaries."""
+        universe, shards, chunk = 128, 3, 32
+        indices, deltas = random_turnstile(universe, 6 * chunk, 11)
+        split = 4 * chunk  # resume on a chunk boundary
+
+        plain = ShardedPipeline(lambda: case.factory(universe, 2),
+                                shards=shards, chunk_size=chunk)
+        plain.ingest(indices[:split], deltas[:split])
+        plain.ingest(indices[split:], deltas[split:])
+
+        paused = ShardedPipeline(lambda: case.factory(universe, 2),
+                                 shards=shards, chunk_size=chunk)
+        paused.ingest(indices[:split], deltas[:split])
+        resumed = ShardedPipeline.restore(paused.checkpoint())
+        assert resumed.updates_ingested == split
+        resumed.ingest(indices[split:], deltas[split:])
+
+        merged_plain, merged_resumed = plain.merged(), resumed.merged()
+        arrays = zip(state_arrays(merged_plain),
+                     state_arrays(merged_resumed))
+        assert all(np.array_equal(a, b) for a, b in arrays)
+
+    def test_round_robin_cursor_survives_restore(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=3),
+                                   shards=3, partition="round_robin",
+                                   chunk_size=8)
+        indices, deltas = random_turnstile(64, 16, 4)  # 2 chunks
+        pipeline.ingest(indices, deltas)
+        resumed = ShardedPipeline.restore(pipeline.checkpoint())
+        assert resumed._cursor == pipeline._cursor == 2 % 3
+
+
+class TestShardValidation:
+    def test_mismatched_factory_rejected(self):
+        seeds = iter([1, 2, 3, 4])
+        with pytest.raises(IncompatibleShards, match="seed"):
+            ShardedPipeline(lambda: L0Sampler(64, seed=next(seeds)),
+                            shards=2)
+
+    def test_item_stream_wrappers_not_shardable(self):
+        from repro.apps.duplicates import DuplicateFinder
+
+        with pytest.raises(TypeError, match="not shardable"):
+            ShardedPipeline(lambda: DuplicateFinder(64, seed=1,
+                                                    sampler_rounds=2),
+                            shards=2)
+
+    def test_unregistered_structure_rejected(self):
+        from repro.core import ReservoirSampler
+
+        with pytest.raises(TypeError, match="not registered"):
+            ShardedPipeline(lambda: ReservoirSampler(64, seed=1), shards=2)
+
+    def test_bad_parameters_rejected(self):
+        factory = lambda: L0Sampler(64, seed=1)  # noqa: E731
+        with pytest.raises(ValueError):
+            ShardedPipeline(factory, shards=0)
+        with pytest.raises(ValueError):
+            ShardedPipeline(factory, partition="modulo")
+        with pytest.raises(ValueError):
+            ShardedPipeline(factory, chunk_size=0)
+
+    def test_fractional_deltas_rejected_not_truncated(self):
+        """Silently flooring 0.5 -> 0 would diverge from the sketches'
+        own float-accepting update path; the pipeline must refuse."""
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        with pytest.raises(ValueError, match="integral"):
+            pipeline.ingest([1, 2], [0.5, -1.7])
+        # integral floats are fine (a common producer artefact)
+        assert pipeline.ingest([1, 2], [2.0, -1.0]) == 2
+
+
+class TestMergedSamplesAgree:
+    def test_l0_sampler_output_identical(self):
+        """End to end: the merged sampler *samples* exactly like the
+        single-stream sampler (state equality carried to the output)."""
+        universe = 256
+        single = L0Sampler(universe, delta=0.2, seed=21)
+        pipeline = ShardedPipeline(lambda: L0Sampler(universe, delta=0.2,
+                                                     seed=21),
+                                   shards=4, chunk_size=32)
+        indices, deltas = random_turnstile(universe, 200, 9)
+        single.update_many(indices, deltas)
+        pipeline.ingest(indices, deltas)
+        mine, theirs = single.sample(), pipeline.merged().sample()
+        assert mine.failed == theirs.failed
+        if not mine.failed:
+            assert mine.index == theirs.index
+            assert mine.estimate == theirs.estimate

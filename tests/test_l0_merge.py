@@ -59,11 +59,48 @@ class TestMerge:
     def test_mismatched_seed_rejected(self):
         a = L0Sampler(64, seed=1)
         b = L0Sampler(64, seed=2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="seed: 1 != 2"):
             a.merge(b)
 
     def test_mismatched_universe_rejected(self):
         a = L0Sampler(64, seed=1)
         b = L0Sampler(128, seed=1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="universe"):
             a.subtract(b)
+
+    def test_mismatched_sparsity_rejected(self):
+        a = L0Sampler(64, seed=1, sparsity=4)
+        b = L0Sampler(64, seed=1, sparsity=6)
+        with pytest.raises(ValueError, match="sparsity: 4 != 6"):
+            a.merge(b)
+
+    def test_mismatched_mode_rejected(self):
+        a = L0Sampler(64, seed=1, mode="kwise")
+        b = L0Sampler(64, seed=1, mode="nisan")
+        with pytest.raises(ValueError, match="mode"):
+            a.merge(b)
+
+    def test_wrong_type_rejected_with_clear_error(self):
+        a = L0Sampler(64, seed=1)
+        with pytest.raises(ValueError, match="type: L0Sampler != int"):
+            a.merge(7)
+
+    def test_error_lists_every_mismatch(self):
+        a = L0Sampler(64, seed=1, sparsity=4)
+        b = L0Sampler(128, seed=2, sparsity=6)
+        with pytest.raises(ValueError) as excinfo:
+            a.merge(b)
+        message = str(excinfo.value)
+        for name in ("universe", "seed", "sparsity", "levels"):
+            assert name in message
+
+    def test_matching_explicit_sparsity_merges_despite_delta(self):
+        """delta only enters the map through sparsity; explicitly equal
+        sparsities share a map even when the deltas differ."""
+        a = L0Sampler(64, delta=0.4, seed=3, sparsity=5)
+        b = L0Sampler(64, delta=0.1, seed=3, sparsity=5)
+        a.update(5, 2)
+        b.update(9, -1)
+        a.merge(b)  # must not raise
+        result = a.sample()
+        assert not result.failed and result.index in (5, 9)

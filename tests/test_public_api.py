@@ -9,7 +9,7 @@ import repro
 
 SUBPACKAGES = ["repro.core", "repro.apps", "repro.comm", "repro.sketch",
                "repro.recovery", "repro.hashing", "repro.streams",
-               "repro.space", "repro.baselines"]
+               "repro.space", "repro.baselines", "repro.engine"]
 
 
 class TestImports:

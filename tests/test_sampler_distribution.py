@@ -1,0 +1,111 @@
+"""Distributional guarantees of the samplers, via the shared harness.
+
+Every check here goes through :mod:`_stattools` — seeded chi-square /
+TV-distance tests with explicit alphas — instead of per-test magic
+tolerances.  The heavyweight sweeps are marked ``slow`` and excluded
+from the CI fast lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler, LpSamplerRound, lp_distribution
+from repro.engine import ShardedPipeline
+from repro.streams import sparse_vector, vector_to_stream
+
+from _stattools import (assert_matches_distribution, assert_uniform_over,
+                        collect_indices, empirical_tv)
+
+
+class TestL0Uniformity:
+    def test_uniform_over_small_support(self):
+        """|J| <= s: recovery is exact, so the sample must be exactly
+        uniform over the support — chi-square against the uniform law."""
+        n = 128
+        vec = np.zeros(n, dtype=np.int64)
+        support = np.array([3, 17, 44, 90, 101, 119])
+        vec[support] = np.array([1, -2, 3, 10, -1, 7])
+        indices = collect_indices(
+            lambda s: L0Sampler(n, delta=0.2, seed=s),
+            vec, trials=360, seed_base=500)
+        assert_uniform_over(indices, support, min_samples=300)
+
+    def test_magnitudes_do_not_bias_l0(self):
+        """Huge coordinate values must not shift the support law."""
+        n = 256
+        vec = sparse_vector(n, 10, seed=7)
+        support = np.flatnonzero(vec)
+        vec[support[:3]] = 10**6
+        indices = collect_indices(
+            lambda s: L0Sampler(n, delta=0.2, seed=s),
+            vec, trials=360, seed_base=700)
+        assert_uniform_over(indices, support, min_samples=250)
+
+    @pytest.mark.slow
+    def test_uniform_over_large_support(self):
+        """|J| > s: the level hierarchy takes over; still uniform."""
+        n = 512
+        vec = sparse_vector(n, 80, seed=3)
+        support = np.flatnonzero(vec)
+        indices = collect_indices(
+            lambda s: L0Sampler(n, delta=0.2, seed=s),
+            vec, trials=600, seed_base=900)
+        # chi-square over 80 cells needs pooling; harness handles it.
+        assert_matches_distribution(
+            indices, (vec != 0) / support.size, min_samples=400)
+
+
+class TestLpDistribution:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("p", [0.7, 1.0, 1.4])
+    def test_head_tv_within_bound(self, p):
+        """Conditioned on success, round outputs track the Lp law:
+        head-coarsened TV below the eps-scale bound."""
+        n = 200
+        vec = np.zeros(n, dtype=np.int64)
+        vec[11] = 70
+        vec[40:120] = 3
+        indices = collect_indices(
+            lambda s: LpSamplerRound(n, p, 0.3, seed=s),
+            vec, trials=500, seed_base=1300)
+        assert len(indices) >= 25     # Theta(eps) per-round success
+        truth = lp_distribution(vec, p)
+        assert empirical_tv(indices, truth, head=10) <= 0.22
+
+    def test_dominant_coordinate_frequency(self):
+        """The heavy coordinate appears at ~ its L1 weight (chi-square
+        on the coarsened {heavy, rest} law)."""
+        n = 150
+        vec = np.zeros(n, dtype=np.int64)
+        vec[5] = 50
+        vec[30:80] = 2
+        indices = collect_indices(
+            lambda s: LpSamplerRound(n, 1.0, 0.3, seed=s),
+            vec, trials=260, seed_base=1500)
+        assert len(indices) >= 20
+        truth = lp_distribution(vec, 1.0)
+        heavy_freq = sum(i == 5 for i in indices) / len(indices)
+        sigma = np.sqrt(truth[5] * (1 - truth[5]) / len(indices))
+        assert abs(heavy_freq - truth[5]) <= 4.5 * sigma + 0.3 * truth[5]
+
+
+class TestShardedSamplingLaw:
+    def test_sharded_l0_keeps_the_uniform_law(self):
+        """Distribution-level closure: sharded ingestion + merge must
+        not bias the sampling law (state equality already guarantees
+        it; this pins the end-to-end statistical behaviour)."""
+        n = 128
+        vec = np.zeros(n, dtype=np.int64)
+        support = np.array([9, 33, 57, 76, 104])
+        vec[support] = np.array([4, -1, 2, 8, -5])
+        stream = vector_to_stream(vec, seed=12)
+        indices = []
+        for t in range(300):
+            pipeline = ShardedPipeline(
+                lambda: L0Sampler(n, delta=0.2, seed=2000 + t),
+                shards=3, chunk_size=7)
+            pipeline.ingest_stream(stream)
+            result = pipeline.merged().sample()
+            if not result.failed:
+                indices.append(int(result.index))
+        assert_uniform_over(indices, support, min_samples=250)
