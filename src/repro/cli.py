@@ -70,6 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--chunk", type=int, default=4096)
     engine.add_argument("--partition", choices=["hash", "round_robin"],
                         default="hash")
+    engine.add_argument("--backend", choices=["serial", "process"],
+                        default="serial",
+                        help="where shard updates execute: this process "
+                             "or one worker process per shard")
     engine.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -212,9 +216,11 @@ def _cmd_engine(args) -> int:
     pipeline = ShardedPipeline(factories[args.structure],
                                shards=args.shards,
                                partition=args.partition,
-                               chunk_size=args.chunk)
+                               chunk_size=args.chunk,
+                               backend=args.backend)
     print(f"engine: {args.structure} x {args.shards} shards "
-          f"({args.partition}, chunk={args.chunk}) over n={n}")
+          f"({args.partition}, chunk={args.chunk}, "
+          f"backend={args.backend}) over n={n}")
 
     # snapshot on a chunk boundary when possible; for short streams
     # fall back to mid-stream so the checkpoint always carries state
@@ -223,14 +229,17 @@ def _cmd_engine(args) -> int:
     start = time.perf_counter()
     pipeline.ingest(indices[:half], deltas[:half])
     blob = pipeline.checkpoint()
-    pipeline = ShardedPipeline.restore(blob)
+    pipeline.close()
+    pipeline = ShardedPipeline.restore(blob, backend=args.backend)
     pipeline.ingest(indices[half:], deltas[half:])
+    pipeline.flush()               # count applied updates, not queued ones
     elapsed = time.perf_counter() - start
     print(f"ingested {pipeline.updates_ingested} updates "
           f"(checkpoint/restore at {half}: {len(blob)} bytes) "
           f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} updates/s")
 
     merged = pipeline.merged()
+    pipeline.close()
     if args.structure in ("l0", "l1"):
         result = merged.sample()
         if result.failed:

@@ -5,7 +5,9 @@ parallelism and snapshot/restore are theoretically free; this package
 makes them operational:
 
 * :class:`ShardedPipeline` — chunked multi-shard ingestion of turnstile
-  streams with a binary merge tree producing one query-able structure;
+  streams with a binary merge tree producing one query-able structure,
+  executing serially in-process or on one worker process per shard
+  (``backend="process"``; see :mod:`repro.engine.workers`);
 * :func:`checkpoint` / :func:`restore` — universal, versioned
   snapshot/restore for every registered sketch, sampler and app
   wrapper (mid-stream, resumable, deterministic);
@@ -30,13 +32,16 @@ from .checkpoint import (FORMAT_VERSION, EngineSpec, IncompatibleShards,
                          register_linear_sketch, register_spec, restore,
                          state_arrays)
 from .pipeline import ShardedPipeline
+from .workers import (BACKENDS, ProcessPool, SerialPool, WorkerCrashed,
+                      WorkerPool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
 
 __all__ = [
-    "FORMAT_VERSION", "EngineSpec", "IncompatibleShards", "StaleCheckpoint",
-    "checkpoint", "clone", "is_exact", "is_registered", "is_shardable",
-    "map_mismatches", "merge_into", "params_of", "registered_types",
-    "register_linear_sketch", "register_spec", "restore", "state_arrays",
-    "ShardedPipeline",
+    "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
+    "ProcessPool", "SerialPool", "StaleCheckpoint", "WorkerCrashed",
+    "WorkerPool", "checkpoint", "clone", "is_exact", "is_registered",
+    "is_shardable", "map_mismatches", "merge_into", "params_of",
+    "registered_types", "register_linear_sketch", "register_spec",
+    "restore", "state_arrays", "ShardedPipeline",
 ]

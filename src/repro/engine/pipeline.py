@@ -12,19 +12,34 @@ operational:
   stateless, and immune to adversarial index clustering; or
   ``round_robin`` assigns whole chunks to shards cyclically (better
   cache behaviour for pre-batched feeds).
+* **Execution backends.**  ``backend="serial"`` runs every shard in
+  this process (the reference semantics); ``backend="process"`` gives
+  each shard its own worker process fed over a bounded queue, so
+  ingestion overlaps across shards on real cores.  Both backends share
+  routing, chunking and the checkpoint wire format — a blob written by
+  one restores under the other.  See :mod:`repro.engine.workers`.
 * **Chunked driving.**  Ingestion walks the stream in ``chunk_size``
   slices and fans each slice out through the shards' vectorised
   ``update_many`` — the same fast path every sketch already optimises.
-* **Merging.**  ``merged()`` clones the shards and folds them with a
-  binary merge tree (`O(log K)` depth, the distributed-reduce shape),
-  returning a single query-able structure.  Shard compatibility is
-  validated by the engine; mismatched maps raise
+* **Merging.**  ``merged()`` folds shard states with a binary merge
+  tree (`O(log K)` depth, the distributed-reduce shape), returning a
+  single query-able structure.  Shard compatibility is validated by
+  the engine; mismatched maps raise
   :class:`~repro.engine.checkpoint.IncompatibleShards`.
 * **Checkpoint/restore.**  ``checkpoint()`` snapshots every shard plus
   the pipeline's partition state; :meth:`ShardedPipeline.restore`
   rebuilds the pipeline mid-stream and ingestion continues
   deterministically (chunk boundaries and the round-robin cursor are
-  part of the snapshot).
+  part of the snapshot).  The header is validated field by field and
+  the payload must frame exactly ``shards`` blobs with no trailing
+  bytes — a tampered or truncated blob raises instead of restoring a
+  lying pipeline.
+
+Lifecycle: pipelines are context managers.  ``close()`` shuts worker
+processes down gracefully; a worker crash surfaces as
+:class:`~repro.engine.workers.WorkerCrashed` on the next operation
+(never a hang), and a crashed pipeline refuses to checkpoint, so
+checkpoints stay honest.
 """
 
 from __future__ import annotations
@@ -37,17 +52,62 @@ import numpy as np
 from .checkpoint import (FORMAT_VERSION, IncompatibleShards, StaleCheckpoint,
                          checkpoint as snapshot, clone, map_mismatches,
                          merge_into, restore as restore_blob, spec_for)
+from .workers import BACKENDS, ProcessPool, SerialPool
 
 _PIPELINE_MAGIC = b"RPROPL"
 
 #: Fibonacci hashing multiplier (2^64 / golden ratio, odd).
 _MIX = np.uint64(0x9E3779B97F4A7C15)
 
+_PARTITIONS = ("hash", "round_robin")
+
+_I64_MAX = np.iinfo(np.int64).max
+
 
 def _mix_coordinates(indices: np.ndarray) -> np.ndarray:
     """A cheap deterministic 64-bit mix so shard routing is unclustered."""
     mixed = indices.astype(np.uint64) * _MIX
     return mixed >> np.uint64(33)
+
+
+def _as_int64(values, what: str, integral_only: bool = False) -> np.ndarray:
+    """``asarray`` + int64 cast that refuses to wrap out-of-range input.
+
+    ``np.uint64`` values >= 2^63 pass a ``kind in 'iu'`` check and then
+    silently wrap negative under ``astype(np.int64)``; floats at or
+    above 2^63 do the same (the comparison must be a strict ``< 2^63``
+    — ``<= iinfo.max`` promotes the bound to float64 2^63 and lets the
+    wrapping value through).  Both would corrupt the stream, so detect
+    and raise.  With ``integral_only`` fractional values are rejected
+    too (integral floats are a common producer artefact and allowed).
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind == "u":
+        if arr.size and int(arr.max()) > _I64_MAX:
+            raise ValueError(
+                f"{what} exceed int64 range (uint64 value "
+                f"{int(arr.max())} would wrap negative)")
+    elif arr.dtype.kind not in "ib":
+        # The turnstile model is integer-valued; silently truncating
+        # real deltas would diverge from the single-instance run.
+        if integral_only and not np.all(np.mod(arr, 1) == 0):
+            raise ValueError(f"turnstile {what} must be integral "
+                             f"(got non-integer values)")
+        if arr.dtype.kind == "f" and arr.size \
+                and not np.all(np.abs(arr) < 2.0 ** 63):
+            raise ValueError(f"{what} exceed int64 range")
+    return arr.astype(np.int64)
+
+
+def _header_int(header: dict, key: str, minimum: int) -> int:
+    """A validated integer header field; anything else is corruption."""
+    value = header.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise ValueError(
+            f"corrupt pipeline checkpoint: {key}={value!r} "
+            f"(expected an integer >= {minimum})")
+    return value
 
 
 class ShardedPipeline:
@@ -59,7 +119,9 @@ class ShardedPipeline:
         Zero-argument callable building one shard.  Every call must
         produce an identically-parameterised (same seed!) structure —
         shards must share their linear map to be mergeable; the
-        constructor validates this via the engine registry.
+        constructor validates this via the engine registry.  The
+        factory is only ever called in the constructing process, so it
+        may be a closure even under ``backend="process"``.
     shards:
         The shard count K.
     partition:
@@ -68,25 +130,45 @@ class ShardedPipeline:
         cyclically.
     chunk_size:
         Slice length for chunked ingestion.
+    backend:
+        ``"serial"`` (in-process, default) or ``"process"`` (one
+        worker process per shard).
     """
 
     def __init__(self, factory, shards: int = 4, partition: str = "hash",
-                 chunk_size: int = 4096):
+                 chunk_size: int = 4096, backend: str = "serial"):
         if shards < 1:
             raise ValueError("need at least one shard")
-        if partition not in ("hash", "round_robin"):
+        if partition not in _PARTITIONS:
             raise ValueError("partition must be 'hash' or 'round_robin'")
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, not {backend!r}")
         self.partition = partition
         self.chunk_size = int(chunk_size)
+        self.backend = backend
         self.updates_ingested = 0
         self._cursor = 0  # next round-robin shard
-        self._shards = [factory() for _ in range(int(shards))]
-        self._validate_shards()
+        self._closed = False
+        self._poisoned = False  # a chunk failed after partial fan-out
+        built = [factory() for _ in range(int(shards))]
+        self._validate_shards(built)
+        self._k = len(built)
+        self._pool = self._build_pool(backend, built)
 
-    def _validate_shards(self) -> None:
-        head = self._shards[0]
+    @staticmethod
+    def _build_pool(backend: str, built: list):
+        if backend == "process":
+            # Workers restore from checkpoint blobs, so the factory
+            # (often a closure) never crosses the process boundary.
+            return ProcessPool([snapshot(shard) for shard in built])
+        return SerialPool(built)
+
+    @staticmethod
+    def _validate_shards(built: list) -> None:
+        head = built[0]
         spec = spec_for(head)  # raises TypeError when unregistered
         if not spec.shardable:
             raise TypeError(
@@ -96,7 +178,7 @@ class ShardedPipeline:
                 f"(checkpoint/restore still applies)")
         if not hasattr(head, "update_many"):
             raise TypeError(f"{type(head).__name__} lacks update_many")
-        for other in self._shards[1:]:
+        for other in built[1:]:
             mismatches = map_mismatches(head, other)
             if mismatches:
                 raise IncompatibleShards(
@@ -104,16 +186,55 @@ class ShardedPipeline:
                     f"({'; '.join(mismatches)}); every call must return "
                     f"an identically-seeded structure")
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the backend down; idempotent.  Process workers receive
+        a stop message and are joined (terminated after a grace
+        period).  Every subsequent operation raises."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        if self._poisoned:
+            # Not just checkpoint(): merged() and shard_instances
+            # would serve the same torn state, and further ingestion
+            # could never un-tear it.
+            raise RuntimeError(
+                "pipeline state is inconsistent: a chunk failed while "
+                "being applied (shards may hold part of it); restore "
+                "a checkpoint taken before the failure")
+
     # -- introspection -------------------------------------------------------
 
     @property
     def shards(self) -> int:
-        return len(self._shards)
+        return self._k
 
     @property
     def shard_instances(self) -> list:
-        """The live shard structures (read-only use intended)."""
-        return list(self._shards)
+        """The shard structures: the live objects under the serial
+        backend (read-only use intended), point-in-time snapshot
+        copies under the process backend."""
+        self._require_open()
+        return self._pool.structures()
 
     # -- ingestion -----------------------------------------------------------
 
@@ -122,73 +243,100 @@ class ShardedPipeline:
 
         The batch is walked in ``chunk_size`` slices; each slice is
         routed to shards and applied via their vectorised
-        ``update_many``.  Integer/modular-state structures are
-        insensitive to the slicing; for float-state structures a
-        checkpoint/resume run reproduces the uninterrupted run
-        byte-for-byte when ingestion batches split at ``chunk_size``
-        boundaries (each ``ingest`` call starts a fresh chunk).
+        ``update_many``.  ``updates_ingested`` advances per chunk, as
+        each chunk is handed to the backend — if a chunk raises
+        mid-batch, the counter stops at the last completed chunk
+        boundary instead of claiming the whole batch, and the
+        pipeline is poisoned: a failed chunk may have partially
+        mutated a shard (``update_many`` is not atomic) or reached
+        only some shards of a hash fan-out, so ``checkpoint()``
+        refuses rather than snapshot state that could misrepresent
+        what was ingested.  Checkpoints taken *before* the failure
+        remain valid resume points.
+
+        Integer/modular-state structures are insensitive to the
+        slicing; for float-state structures a checkpoint/resume run
+        reproduces the uninterrupted run byte-for-byte when ingestion
+        batches split at ``chunk_size`` boundaries (each ``ingest``
+        call starts a fresh chunk).
         """
-        idx = np.asarray(indices, dtype=np.int64)
-        dlt = np.asarray(deltas)
-        if dlt.dtype.kind not in "iu":
-            # The turnstile model is integer-valued; silently truncating
-            # real deltas would diverge from the single-instance run.
-            if not np.all(np.mod(dlt, 1) == 0):
-                raise ValueError("turnstile deltas must be integral "
-                                 "(got non-integer values)")
-        dlt = dlt.astype(np.int64)
+        self._require_open()
+        idx = _as_int64(indices, "indices", integral_only=True)
+        dlt = _as_int64(deltas, "deltas", integral_only=True)
         if idx.shape != dlt.shape:
             raise ValueError("indices and deltas must have equal length")
         for start in range(0, idx.size, self.chunk_size):
-            self._ingest_chunk(idx[start:start + self.chunk_size],
-                               dlt[start:start + self.chunk_size])
-        self.updates_ingested += int(idx.size)
+            stop = min(start + self.chunk_size, idx.size)
+            self._ingest_chunk(idx[start:stop], dlt[start:stop])
+            self.updates_ingested += stop - start
         return int(idx.size)
 
     def ingest_stream(self, stream) -> int:
         """Feed an :class:`~repro.streams.model.UpdateStream`, pulling
         its :meth:`~repro.streams.model.UpdateStream.chunks` directly."""
+        self._require_open()
         total = 0
         for indices, deltas in stream.chunks(self.chunk_size):
             self._ingest_chunk(indices, deltas)
+            self.updates_ingested += int(indices.size)
             total += int(indices.size)
-        self.updates_ingested += total
         return total
 
+    def flush(self) -> None:
+        """Block until every routed chunk has been applied.
+
+        A no-op under the serial backend; under the process backend a
+        barrier across all workers (also the point where a worker
+        crash surfaces if one happened mid-ingest)."""
+        self._require_open()
+        self._pool.flush()
+
     def _ingest_chunk(self, idx: np.ndarray, dlt: np.ndarray) -> None:
-        k = len(self._shards)
-        if k == 1:
-            self._shards[0].update_many(idx, dlt)
-            return
-        if self.partition == "round_robin":
-            shard = self._shards[self._cursor]
-            self._cursor = (self._cursor + 1) % k
-            shard.update_many(idx, dlt)
-            return
-        routes = _mix_coordinates(idx) % np.uint64(k)
-        for s in range(k):
-            mask = routes == s
-            if mask.any():
-                self._shards[s].update_many(idx[mask], dlt[mask])
+        k = self._k
+        try:
+            if k == 1:
+                self._pool.submit(0, idx, dlt)
+                return
+            if self.partition == "round_robin":
+                self._pool.submit(self._cursor, idx, dlt)
+                self._cursor = (self._cursor + 1) % k  # only on success
+                return
+            routes = _mix_coordinates(idx) % np.uint64(k)
+            for s in range(k):
+                mask = routes == s
+                if mask.any():
+                    self._pool.submit(s, idx[mask], dlt[mask])
+        except BaseException:
+            # A failed submit may have mutated a shard partway
+            # (``update_many`` applies row by row and is not atomic)
+            # or reached only some shards of a hash fan-out; either
+            # way no checkpoint may be taken of that state.
+            self._poisoned = True
+            raise
 
     # -- reconciliation ------------------------------------------------------
 
     def merged(self):
         """One query-able structure equal to the single-instance run.
 
-        Folds the shards with a binary merge tree.  Only the merge
-        targets are cloned (``merge_into`` never mutates its source),
-        so the pipeline stays usable and ceil(K/2) state copies
-        suffice.  For integer/modular-state structures the result is
-        byte-identical to feeding the whole stream into one instance;
-        float-state structures agree up to reassociation ulps (see
+        Folds the shard states with a binary merge tree.  Under the
+        serial backend only the merge targets are cloned
+        (``merge_into`` never mutates its source), so the pipeline
+        stays usable and ceil(K/2) state copies suffice; the process
+        backend folds the workers' snapshot copies in place.  For
+        integer/modular-state structures the result is byte-identical
+        to feeding the whole stream into one instance; float-state
+        structures agree up to reassociation ulps (see
         :mod:`repro.engine.registry`).
         """
+        self._require_open()
+        structures = self._pool.structures()
         level = []
-        for i in range(0, len(self._shards), 2):
-            accumulator = clone(self._shards[i])
-            if i + 1 < len(self._shards):
-                merge_into(accumulator, self._shards[i + 1])
+        for i in range(0, len(structures), 2):
+            accumulator = (clone(structures[i]) if self._pool.shares_state
+                           else structures[i])
+            if i + 1 < len(structures):
+                merge_into(accumulator, structures[i + 1])
             level.append(accumulator)
         while len(level) > 1:
             paired = []
@@ -203,8 +351,17 @@ class ShardedPipeline:
     # -- checkpoint / restore ------------------------------------------------
 
     def checkpoint(self) -> bytes:
-        """Snapshot the whole pipeline (shards + partition state)."""
-        blobs = [snapshot(shard) for shard in self._shards]
+        """Snapshot the whole pipeline (shards + partition state).
+
+        Wire format (backend-agnostic; see README "Checkpoint wire
+        format"): the 6-byte magic ``RPROPL``, a 4-byte big-endian
+        header length, the JSON header (``format``, ``partition``,
+        ``chunk_size``, ``cursor``, ``updates_ingested``, ``shards``),
+        then exactly ``shards`` length-prefixed (8-byte big-endian)
+        engine checkpoint blobs and nothing after the last one.
+        """
+        self._require_open()
+        blobs = self._pool.snapshots()
         header = json.dumps({
             "format": FORMAT_VERSION,
             "partition": self.partition,
@@ -223,37 +380,130 @@ class ShardedPipeline:
         return out.getvalue()
 
     @classmethod
-    def restore(cls, data: bytes) -> "ShardedPipeline":
-        """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting."""
+    def restore(cls, data: bytes,
+                backend: str = "serial") -> "ShardedPipeline":
+        """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting.
+
+        The header is fully validated (unknown partition, nonsense
+        chunk size, negative counters and a shard count that does not
+        match the framed payload all raise ``ValueError``) and the
+        payload must end exactly at the last shard blob — trailing
+        garbage is rejected rather than silently ignored.  ``backend``
+        chooses where the restored shards execute; it is an execution
+        choice, not part of the wire format.
+        """
+        data = bytes(data)
         if data[:len(_PIPELINE_MAGIC)] != _PIPELINE_MAGIC:
             raise ValueError("not a pipeline checkpoint (bad magic)")
         offset = len(_PIPELINE_MAGIC)
+        if len(data) < offset + 4:
+            raise ValueError("truncated pipeline checkpoint (no header)")
         header_len = int.from_bytes(data[offset:offset + 4], "big")
         offset += 4
-        header = json.loads(data[offset:offset + header_len].decode("utf-8"))
+        raw_header = data[offset:offset + header_len]
+        if len(raw_header) < header_len:
+            raise ValueError(
+                "truncated pipeline checkpoint (incomplete header)")
+        try:
+            header = json.loads(raw_header.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"corrupt pipeline checkpoint header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise ValueError("corrupt pipeline checkpoint header "
+                             "(not a JSON object)")
         offset += header_len
         if header.get("format") != FORMAT_VERSION:
             raise StaleCheckpoint(
                 f"pipeline checkpoint format {header.get('format')!r} is "
                 f"not supported (this build reads {FORMAT_VERSION})")
-        shards = []
-        for _ in range(header["shards"]):
-            blob_len = int.from_bytes(data[offset:offset + 8], "big")
-            offset += 8
-            shards.append(restore_blob(data[offset:offset + blob_len]))
-            offset += blob_len
-        if not shards:
-            raise ValueError("pipeline checkpoint holds no shards")
-        cursor = int(header["cursor"])
-        if not 0 <= cursor < len(shards):
+        partition = header.get("partition")
+        if partition not in _PARTITIONS:
+            raise ValueError(
+                f"corrupt pipeline checkpoint: unknown partition "
+                f"{partition!r} (expected one of {_PARTITIONS})")
+        chunk_size = _header_int(header, "chunk_size", minimum=1)
+        updates_ingested = _header_int(header, "updates_ingested",
+                                       minimum=0)
+        declared = _header_int(header, "shards", minimum=1)
+        cursor = _header_int(header, "cursor", minimum=0)
+        if cursor >= declared:
             raise ValueError(f"corrupt pipeline checkpoint: cursor "
                              f"{cursor} out of range for "
-                             f"{len(shards)} shards")
+                             f"{declared} shards")
+        blobs = []
+        for i in range(declared):
+            if offset + 8 > len(data):
+                raise ValueError(
+                    f"corrupt pipeline checkpoint: header declares "
+                    f"{declared} shards but the payload ends at "
+                    f"shard {i}")
+            blob_len = int.from_bytes(data[offset:offset + 8], "big")
+            offset += 8
+            if blob_len > len(data) - offset:
+                raise ValueError(
+                    f"corrupt pipeline checkpoint: shard blob {i} is "
+                    f"truncated ({blob_len} bytes framed, "
+                    f"{len(data) - offset} remain)")
+            blobs.append(data[offset:offset + blob_len])
+            offset += blob_len
+        if offset != len(data):
+            raise ValueError(
+                f"corrupt pipeline checkpoint: {len(data) - offset} "
+                f"trailing bytes after the last shard blob")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, not {backend!r}")
+        if backend == "process":
+            # Workers restore their own blobs, so the parent never
+            # needs all K states in memory: restore only the head
+            # shard for the registry checks, compare the other blobs'
+            # headers (same class + params == same linear map), and
+            # let the flush barrier surface any blob a worker fails
+            # to restore — still an error at restore time, not a hang
+            # at the first ingest.
+            cls._validate_shards([restore_blob(blobs[0])])
+            head_class, head_params = _shard_blob_signature(blobs[0], 0)
+            for i, blob in enumerate(blobs[1:], 1):
+                blob_class, blob_params = _shard_blob_signature(blob, i)
+                if (blob_class, blob_params) != (head_class, head_params):
+                    raise IncompatibleShards(
+                        f"shard blob {i} ({blob_class}, {blob_params}) "
+                        f"does not share shard 0's map "
+                        f"({head_class}, {head_params})")
+            pool = ProcessPool(blobs)
+            try:
+                pool.flush()
+            except BaseException:
+                pool.close()
+                raise
+        else:
+            shards = [restore_blob(blob) for blob in blobs]
+            cls._validate_shards(shards)
+            pool = SerialPool(shards)
         pipeline = cls.__new__(cls)
-        pipeline.partition = header["partition"]
-        pipeline.chunk_size = int(header["chunk_size"])
-        pipeline.updates_ingested = int(header["updates_ingested"])
+        pipeline.partition = partition
+        pipeline.chunk_size = chunk_size
+        pipeline.backend = backend
+        pipeline.updates_ingested = updates_ingested
         pipeline._cursor = cursor
-        pipeline._shards = shards
-        pipeline._validate_shards()
+        pipeline._closed = False
+        pipeline._poisoned = False
+        pipeline._k = declared
+        pipeline._pool = pool
         return pipeline
+
+
+def _shard_blob_signature(blob: bytes, index: int) -> tuple:
+    """(class, params) from a structure blob's JSON header — the two
+    fields that determine its linear map — without restoring state."""
+    try:
+        header_len = int.from_bytes(blob[6:10], "big")
+        header = json.loads(blob[10:10 + header_len].decode("utf-8"))
+        return header["class"], header["params"]
+    except Exception as exc:
+        raise ValueError(
+            f"corrupt pipeline checkpoint: shard blob {index} has an "
+            f"unreadable header ({exc})") from exc
+
+

@@ -1,0 +1,326 @@
+"""Execution backends for :class:`~repro.engine.pipeline.ShardedPipeline`.
+
+The pipeline separates *routing* (which shard sees which updates) from
+*execution* (where that shard's ``update_many`` actually runs).  This
+module supplies the execution half as a small :class:`WorkerPool`
+interface with two implementations:
+
+* :class:`SerialPool` — every shard lives in the calling process and
+  updates apply synchronously.  This is the reference semantics: zero
+  IPC, deterministic, and what all of the engine's linearity proofs are
+  stated against.
+* :class:`ProcessPool` — one OS process per shard.  Each worker is
+  born from the shard's checkpoint blob (so nothing unpicklable — a
+  factory closure, say — ever crosses the process boundary), receives
+  routed ``(indices, deltas)`` chunks over a bounded multiprocessing
+  queue, and ships state back as the very same checkpoint blob the
+  serial path produces.  Because restore is bit-exact and each worker
+  applies its chunks in submission order, the process backend's merged
+  state is byte-identical to the serial backend's for *every*
+  registered structure (float-state ones included: same operations,
+  same order).
+
+Failure semantics (process backend)
+-----------------------------------
+
+A worker that raises ships the traceback to the parent and exits; a
+worker that dies outright (OOM kill, ``terminate()``) is detected by
+liveness polling.  Either way the *next* pool interaction — submit,
+flush, snapshot — raises :class:`WorkerCrashed` instead of hanging.
+A crashed worker's unsnapshotted state is gone; the pipeline refuses
+to checkpoint past it, so a checkpoint can never silently claim
+updates a dead worker swallowed.  Workers are daemonic: an abandoned
+pool cannot outlive the parent process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+
+from .checkpoint import checkpoint as snapshot, restore as restore_blob
+
+#: Liveness-poll interval while blocking on a worker queue (seconds).
+_POLL_S = 0.2
+
+#: How long ``close()`` waits for a worker to drain and acknowledge
+#: the stop message before escalating to ``terminate()`` (seconds).
+_STOP_GRACE_S = 10.0
+
+#: Backend names accepted by the pipeline, in documentation order.
+BACKENDS = ("serial", "process")
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker process died or raised; its shard state is lost.
+
+    The pipeline that owns the pool is poisoned: ingest, flush,
+    checkpoint and merge all raise so a checkpoint taken *after* the
+    crash can never misrepresent what was ingested.
+    """
+
+
+class WorkerPool:
+    """Where shard ``update_many`` calls execute.
+
+    The pipeline routes each chunk to a shard id and calls
+    :meth:`submit`; everything else (snapshots for checkpointing,
+    structures for merging, a flush barrier, shutdown) is the pool's
+    business.  Implementations must preserve per-shard submission
+    order — the engine's determinism guarantees depend on it.
+    """
+
+    #: True when :meth:`structures` returns the live shard objects
+    #: (callers must clone before mutating); False when it returns
+    #: private copies that may be consumed freely.
+    shares_state = False
+
+    def submit(self, shard: int, indices, deltas) -> None:
+        """Apply one routed chunk to ``shard`` (maybe asynchronously)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Block until every submitted chunk has been applied."""
+        raise NotImplementedError
+
+    def snapshots(self) -> list[bytes]:
+        """One engine checkpoint blob per shard, post-flush consistent."""
+        raise NotImplementedError
+
+    def structures(self) -> list:
+        """The shard structures (see :attr:`shares_state`)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers; idempotent.  The pool is unusable after."""
+        raise NotImplementedError
+
+
+class SerialPool(WorkerPool):
+    """All shards in the calling process; the reference backend."""
+
+    shares_state = True
+
+    def __init__(self, shards: list):
+        self._shards = list(shards)
+
+    def submit(self, shard: int, indices, deltas) -> None:
+        self._shards[shard].update_many(indices, deltas)
+
+    def flush(self) -> None:
+        pass                       # submission is application
+
+    def snapshots(self) -> list[bytes]:
+        return [snapshot(shard) for shard in self._shards]
+
+    def structures(self) -> list:
+        return list(self._shards)
+
+    def close(self) -> None:
+        pass                       # nothing external to release
+
+
+def _shard_worker(blob: bytes, inbox, outbox) -> None:
+    """Worker main: restore the shard, then serve the message loop.
+
+    Messages are ``("ingest", indices, deltas)``, ``("ping",)``,
+    ``("snapshot",)`` and ``("stop",)``.  Any exception ships its
+    traceback through ``outbox`` and ends the process; the parent
+    turns it into :class:`WorkerCrashed`.
+    """
+    try:
+        shard = restore_blob(blob)
+        while True:
+            message = inbox.get()
+            op = message[0]
+            if op == "ingest":
+                shard.update_many(message[1], message[2])
+            elif op == "ping":
+                outbox.put(("pong", None))
+            elif op == "snapshot":
+                outbox.put(("blob", snapshot(shard)))
+            elif op == "stop":
+                outbox.put(("stopped", None))
+                return
+            else:
+                raise RuntimeError(f"unknown worker op {op!r}")
+    except BaseException:
+        try:
+            outbox.put(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _Worker:
+    __slots__ = ("process", "inbox", "outbox")
+
+    def __init__(self, process, inbox, outbox):
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+
+
+class ProcessPool(WorkerPool):
+    """One daemonic OS process per shard, fed over bounded queues.
+
+    Parameters
+    ----------
+    blobs:
+        One engine checkpoint blob per shard; each worker restores its
+        shard from its blob, so shard construction never needs to
+        pickle a factory.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap startup, no import replay) and the platform
+        default elsewhere.
+    queue_depth:
+        Chunks buffered per worker before :meth:`submit` applies
+        backpressure; bounds parent->worker memory at
+        ``queue_depth * chunk_size`` updates per shard.
+    """
+
+    shares_state = False
+
+    def __init__(self, blobs: list[bytes], start_method: str | None = None,
+                 queue_depth: int = 4):
+        if start_method is None and "fork" in mp.get_all_start_methods():
+            start_method = "fork"
+        context = mp.get_context(start_method)
+        self._closed = False
+        self._fatal = None
+        self._workers = []
+        try:
+            for i, blob in enumerate(blobs):
+                inbox = context.Queue(queue_depth)
+                outbox = context.Queue()
+                process = context.Process(
+                    target=_shard_worker, args=(blob, inbox, outbox),
+                    name=f"repro-shard-{i}", daemon=True)
+                process.start()
+                self._workers.append(_Worker(process, inbox, outbox))
+        except Exception:
+            self.close()
+            raise
+
+    # -- failure detection ---------------------------------------------------
+
+    def _crash(self, shard: int, detail: str) -> WorkerCrashed:
+        self._closed = True        # poison: no checkpoint past a crash
+        self._fatal = (
+            f"shard worker {shard} died; its un-snapshotted state is "
+            f"lost and this pipeline cannot continue.  {detail}")
+        return WorkerCrashed(self._fatal)
+
+    def _ensure_alive(self, shard: int) -> None:
+        worker = self._workers[shard]
+        try:
+            kind, value = worker.outbox.get_nowait()
+        except queue_mod.Empty:
+            kind, value = None, None
+        if kind == "error":
+            raise self._crash(shard, f"Worker traceback:\n{value}")
+        if not worker.process.is_alive():
+            raise self._crash(
+                shard, f"Exit code {worker.process.exitcode} with no "
+                f"traceback (killed?).")
+
+    def _require_open(self) -> None:
+        if self._fatal is not None:
+            raise WorkerCrashed(self._fatal)
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+
+    # -- the WorkerPool interface --------------------------------------------
+
+    def _send(self, shard: int, message: tuple) -> None:
+        """Deliver one message, blocking under backpressure but never
+        past a dead worker (liveness is re-checked every poll)."""
+        worker = self._workers[shard]
+        while True:
+            self._ensure_alive(shard)
+            try:
+                worker.inbox.put(message, timeout=_POLL_S)
+                return
+            except queue_mod.Full:
+                continue
+
+    def submit(self, shard: int, indices, deltas) -> None:
+        self._require_open()
+        self._send(shard, ("ingest", indices, deltas))
+
+    def _receive(self, shard: int, want: str):
+        worker = self._workers[shard]
+        while True:
+            try:
+                kind, value = worker.outbox.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if not worker.process.is_alive():
+                    raise self._crash(
+                        shard, f"Exit code {worker.process.exitcode} "
+                        f"while a {want!r} reply was pending.")
+                continue
+            if kind == "error":
+                raise self._crash(shard, f"Worker traceback:\n{value}")
+            if kind != want:
+                raise self._crash(
+                    shard, f"Protocol error: got {kind!r}, "
+                    f"wanted {want!r}.")
+            return value
+
+    def flush(self) -> None:
+        """Barrier: queues are FIFO, so a pong proves every previously
+        submitted chunk has been applied."""
+        self._require_open()
+        for shard in range(len(self._workers)):
+            self._send(shard, ("ping",))
+        for shard in range(len(self._workers)):
+            self._receive(shard, "pong")
+
+    def snapshots(self) -> list[bytes]:
+        self._require_open()
+        for shard in range(len(self._workers)):
+            self._send(shard, ("snapshot",))
+        return [self._receive(shard, "blob")
+                for shard in range(len(self._workers))]
+
+    def structures(self) -> list:
+        return [restore_blob(blob) for blob in self.snapshots()]
+
+    def close(self) -> None:
+        if getattr(self, "_closed", False) and not self._workers:
+            return
+        self._closed = True
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            # A backlogged inbox is normal at shutdown — keep retrying
+            # within the grace period while the worker drains it, so a
+            # healthy worker always gets the stop message and exits
+            # cleanly instead of being terminated.
+            for _ in range(int(_STOP_GRACE_S / _POLL_S)):
+                if not worker.process.is_alive():
+                    break
+                try:
+                    worker.inbox.put(("stop",), timeout=_POLL_S)
+                    break
+                except queue_mod.Full:
+                    continue
+                except Exception:
+                    break
+        for worker in workers:
+            worker.process.join(_STOP_GRACE_S)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(_STOP_GRACE_S)
+            for channel in (worker.inbox, worker.outbox):
+                try:
+                    channel.cancel_join_thread()
+                    channel.close()
+                except Exception:
+                    pass
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

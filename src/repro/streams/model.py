@@ -26,6 +26,22 @@ from typing import Iterable, Iterator, NamedTuple
 import numpy as np
 
 
+def _coerce_int64(values, what: str) -> np.ndarray:
+    """int64 coercion that refuses to wrap: uint64 values >= 2^63 and
+    floats at or beyond 2^63 would silently come out negative under a
+    plain ``asarray(..., dtype=int64)``, corrupting the stream."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "u":
+        if arr.size and int(arr.max()) > np.iinfo(np.int64).max:
+            raise ValueError(
+                f"{what} exceed int64 range (uint64 value "
+                f"{int(arr.max())} would wrap negative)")
+    elif arr.dtype.kind == "f":
+        if arr.size and not np.all(np.abs(arr) < 2.0 ** 63):
+            raise ValueError(f"{what} exceed int64 range")
+    return arr.astype(np.int64)
+
+
 class Update(NamedTuple):
     """One turnstile update: add ``delta`` to coordinate ``index``."""
 
@@ -47,8 +63,8 @@ class UpdateStream:
     deltas: np.ndarray
 
     def __post_init__(self):
-        self.indices = np.asarray(self.indices, dtype=np.int64)
-        self.deltas = np.asarray(self.deltas, dtype=np.int64)
+        self.indices = _coerce_int64(self.indices, "indices")
+        self.deltas = _coerce_int64(self.deltas, "deltas")
         if self.indices.shape != self.deltas.shape:
             raise ValueError("indices and deltas must have equal length")
         if self.indices.size and (self.indices.min() < 0

@@ -38,6 +38,22 @@ class TestInProcess:
         out = capsys.readouterr().out
         assert "bits" in out
 
+    def test_engine_serial(self, capsys):
+        assert main(["engine", "--structure", "l0", "-n", "512",
+                     "--updates", "4000", "--shards", "3",
+                     "--chunk", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=serial" in out
+        assert "ingested 4000 updates" in out
+
+    def test_engine_process_backend(self, capsys):
+        assert main(["engine", "--structure", "count-sketch", "-n", "512",
+                     "--updates", "4000", "--shards", "2",
+                     "--chunk", "512", "--backend", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=process" in out
+        assert "ingested 4000 updates" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -174,3 +174,111 @@ class TestWireFormat:
 
         with pytest.raises(TypeError, match="not registered"):
             checkpoint(ReservoirSampler(64, seed=1))
+
+
+def _tamper_pipeline_header(blob: bytes, mutate) -> bytes:
+    """Decode the pipeline JSON header, apply ``mutate(dict)``,
+    re-encode (payload untouched)."""
+    magic, rest = blob[:6], blob[6:]
+    header_len = int.from_bytes(rest[:4], "big")
+    header = json.loads(rest[4:4 + header_len].decode("utf-8"))
+    mutate(header)
+    encoded = json.dumps(header).encode("utf-8")
+    return (magic + len(encoded).to_bytes(4, "big") + encoded
+            + rest[4 + header_len:])
+
+
+class TestPipelineHeaderValidation:
+    """`ShardedPipeline.restore` must reject tampered headers instead
+    of restoring a pipeline that misbehaves at the next ingest."""
+
+    def _blob(self, shards: int = 2) -> bytes:
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1),
+                                   shards=shards, chunk_size=8)
+        pipeline.ingest(np.arange(16), np.ones(16, dtype=np.int64))
+        return pipeline.checkpoint()
+
+    def test_unknown_partition_rejected(self):
+        def bogus(header):
+            header["partition"] = "bogus"
+
+        with pytest.raises(ValueError, match="partition"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), bogus))
+
+    @pytest.mark.parametrize("bad", [0, -3, "16", 2.5, None, True])
+    def test_invalid_chunk_size_rejected(self, bad):
+        def poison(header):
+            header["chunk_size"] = bad
+
+        with pytest.raises(ValueError, match="chunk_size"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), poison))
+
+    def test_negative_updates_ingested_rejected(self):
+        def negate(header):
+            header["updates_ingested"] = -7
+
+        with pytest.raises(ValueError, match="updates_ingested"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), negate))
+
+    def test_shards_count_below_payload_rejected(self):
+        """Declaring fewer shards than framed blobs leaves trailing
+        bytes — silently dropping a shard's state would be a lie."""
+        def shrink(header):
+            header["shards"] = 1
+
+        with pytest.raises(ValueError, match="trailing"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(shards=2), shrink))
+
+    def test_shards_count_above_payload_rejected(self):
+        def inflate(header):
+            header["shards"] = 5
+
+        with pytest.raises(ValueError, match="shard"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(shards=2), inflate))
+
+    def test_zero_shards_rejected(self):
+        def zero(header):
+            header["shards"] = 0
+            header["cursor"] = 0
+
+        with pytest.raises(ValueError, match="shards"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), zero))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            ShardedPipeline.restore(self._blob() + b"garbage")
+
+    def test_cursor_out_of_range_rejected(self):
+        def runaway(header):
+            header["cursor"] = header["shards"]
+
+        with pytest.raises(ValueError, match="cursor"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), runaway))
+
+    def test_non_object_header_rejected(self):
+        blob = self._blob()
+        header_len = int.from_bytes(blob[6:10], "big")
+        encoded = json.dumps([1, 2, 3]).encode("utf-8")
+        bad = (blob[:6] + len(encoded).to_bytes(4, "big") + encoded
+               + blob[10 + header_len:])
+        with pytest.raises(ValueError):
+            ShardedPipeline.restore(bad)
+
+    def test_truncated_payload_rejected(self):
+        blob = self._blob()
+        for cut in (8, len(blob) // 2, len(blob) - 9):
+            with pytest.raises(ValueError):
+                ShardedPipeline.restore(blob[:cut])
+
+    def test_intact_blob_still_restores(self):
+        """The validation must not reject what checkpoint() writes."""
+        restored = ShardedPipeline.restore(self._blob())
+        assert restored.updates_ingested == 16
+        assert restored.shards == 2
