@@ -8,7 +8,11 @@ vectorised hot path) and the Theorem 2 L0 sampler (the deep
 composite) — plus the merge-tree cost, with the law pinned by
 assertion: the K-shard merged state equals the single-instance state
 exactly (both structures carry integer-valued state, where
-shard-and-merge is byte-identical).
+shard-and-merge is byte-identical).  A second sweep reshards the
+pipeline mid-stream (K=2 -> 8 growing under load, K=8 -> 2 shrinking)
+and reports the fold-and-re-seat latency plus end-to-end throughput,
+with the same byte-identical assertion — elastic K must not bend the
+law.
 
 The serial backend partitions work in one process, so per-update cost
 stays roughly flat in K and the numbers document the partition/fan-out
@@ -43,8 +47,15 @@ SHARD_COUNTS = (1, 2, 4, 8)
 HEADER = ["structure", "backend", "K", "updates/s", "merge ms",
           "byte-identical"]
 
+RESHARD_HEADER = ["structure", "backend", "K from", "K to", "reshard ms",
+                  "updates/s", "byte-identical"]
+
+#: Mid-stream topology changes swept by the reshard benchmark.
+RESHARD_CROSSINGS = ((2, 8), (8, 2))
+
 #: Bumped when the BENCH_engine.json layout changes.
-REPORT_SCHEMA = 1
+#: 2: added the reshard-mid-stream sweep (``reshard_rows``).
+REPORT_SCHEMA = 2
 
 
 def _workload(universe: int, updates: int, seed: int = 0):
@@ -89,6 +100,47 @@ def _throughput_records(label, factory, universe, updates, chunk,
     return records
 
 
+def _reshard_records(label, factory, universe, updates, chunk, backends):
+    """Reshard mid-stream: ingest half at K_from, fold + re-seat onto
+    K_to, ingest the rest — throughput covers the whole run including
+    the topology change, and the merged state is asserted against the
+    single-instance run (elastic K must not bend the law)."""
+    indices, deltas = _workload(universe, updates, seed=1)
+    single = factory()
+    single.update_many(indices, deltas)
+    reference = state_arrays(single)
+    half = (updates // 2 // chunk) * chunk or updates // 2
+
+    records = []
+    for backend in backends:
+        for k_from, k_to in RESHARD_CROSSINGS:
+            with ShardedPipeline(factory, shards=k_from, chunk_size=chunk,
+                                 backend=backend) as pipeline:
+                start = time.perf_counter()
+                pipeline.ingest(indices[:half], deltas[:half])
+                reshard_start = time.perf_counter()
+                pipeline.reshard(k_to)
+                reshard_s = time.perf_counter() - reshard_start
+                pipeline.ingest(indices[half:], deltas[half:])
+                pipeline.flush()
+                ingest_s = time.perf_counter() - start
+                merged = pipeline.merged()
+            identical = all(np.array_equal(a, b) for a, b
+                            in zip(reference, state_arrays(merged)))
+            records.append({
+                "structure": label,
+                "backend": backend,
+                "shards_from": k_from,
+                "shards_to": k_to,
+                "updates": updates,
+                "chunk_size": chunk,
+                "reshard_ms": reshard_s * 1e3,
+                "updates_per_s": updates / ingest_s,
+                "byte_identical": identical,
+            })
+    return records
+
+
 def experiment(backends=("serial",), updates_cs: int = 200_000,
                updates_l0: int = 20_000):
     records = []
@@ -103,10 +155,24 @@ def experiment(backends=("serial",), updates_cs: int = 200_000,
     return records
 
 
+def reshard_experiment(backends=("serial",), updates_cs: int = 200_000):
+    return _reshard_records(
+        "count-sketch",
+        lambda: CountSketch(1 << 14, m=32, rows=9, seed=5),
+        1 << 14, updates_cs, chunk=8192, backends=backends)
+
+
 def _rows(records):
     return [[r["structure"], r["backend"], r["shards"],
              f"{r['updates_per_s']:,.0f}", f"{r['merge_ms']:.1f}",
              r["byte_identical"]] for r in records]
+
+
+def _reshard_rows(records):
+    return [[r["structure"], r["backend"], r["shards_from"],
+             r["shards_to"], f"{r['reshard_ms']:.1f}",
+             f"{r['updates_per_s']:,.0f}", r["byte_identical"]]
+            for r in records]
 
 
 def _speedup_at_max_k(records):
@@ -126,13 +192,15 @@ def _speedup_at_max_k(records):
     return {"shards": k, "speedup": process[k] / serial[k]}
 
 
-def write_report(records, path: str) -> dict:
+def write_report(records, path: str, reshard_records=()) -> dict:
     report = {
         "bench": "engine",
         "schema": REPORT_SCHEMA,
         "cpu_count": os.cpu_count(),
         "shard_counts": list(SHARD_COUNTS),
+        "reshard_crossings": [list(c) for c in RESHARD_CROSSINGS],
         "rows": records,
+        "reshard_rows": list(reshard_records),
         "process_speedup_at_max_k": _speedup_at_max_k(records),
     }
     with open(path, "w") as handle:
@@ -151,6 +219,17 @@ def test_engine_throughput(benchmark):
         assert record["updates_per_s"] > 0
 
 
+def test_engine_reshard_mid_stream(benchmark):
+    records = benchmark.pedantic(reshard_experiment, rounds=1,
+                                 iterations=1)
+    print_table("E-ENG: reshard mid-stream (fold + re-seat, no replay)",
+                RESHARD_HEADER, _reshard_rows(records))
+    for record in records:
+        assert record["byte_identical"] is True   # elastic K keeps the law
+        assert record["reshard_ms"] >= 0
+        assert record["updates_per_s"] > 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--backend", choices=["serial", "process", "both"],
@@ -166,9 +245,12 @@ def main(argv=None) -> int:
                 else (args.backend,))
 
     records = experiment(backends, args.updates_cs, args.updates_l0)
-    report = write_report(records, args.out)
+    reshard_records = reshard_experiment(backends, args.updates_cs)
+    report = write_report(records, args.out, reshard_records)
     print_table("E-ENG: sharded ingestion throughput", HEADER,
                 _rows(records))
+    print_table("E-ENG: reshard mid-stream (fold + re-seat, no replay)",
+                RESHARD_HEADER, _reshard_rows(reshard_records))
     speedup = report["process_speedup_at_max_k"]
     if speedup is not None:
         cores = report["cpu_count"]
@@ -176,7 +258,7 @@ def main(argv=None) -> int:
               f"{speedup['speedup']:.2f}x on {cores} CPU core(s)"
               + ("  [single core: parallel gain impossible, this "
                  "measures IPC overhead]" if cores == 1 else ""))
-    if not all(r["byte_identical"] for r in records):
+    if not all(r["byte_identical"] for r in records + reshard_records):
         print("ERROR: a merged state diverged from the single-instance "
               "run")
         return 1

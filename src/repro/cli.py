@@ -74,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="serial",
                         help="where shard updates execute: this process "
                              "or one worker process per shard")
+    engine.add_argument("--reshard-at", type=int, default=None,
+                        metavar="UPDATE",
+                        help="reshard the live pipeline after this many "
+                             "updates (elastic K; replaces the "
+                             "checkpoint/restore demo)")
+    engine.add_argument("--reshard-to", type=int, default=None,
+                        metavar="K",
+                        help="shard count to reshard to "
+                             "(default: 2 * --shards)")
     engine.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -184,12 +193,21 @@ def _cmd_space(args) -> int:
 def _cmd_engine(args) -> int:
     """Drive the sharded engine end to end: ingest half the stream,
     checkpoint, restore (proving mid-stream snapshots work), ingest the
-    rest, merge with the binary tree and query the merged structure."""
+    rest, merge with the binary tree and query the merged structure.
+    With ``--reshard-at`` the checkpoint/restore demo becomes an
+    elastic-K demo: the live pipeline reshards mid-stream instead."""
     import time
 
     from repro.core import L0Sampler, L1Sampler
     from repro.apps.heavy_hitters import CountMedianHeavyHitters
     from repro.sketch import CountSketch
+
+    if args.reshard_to is not None and args.reshard_at is None:
+        print("error: --reshard-to requires --reshard-at", file=sys.stderr)
+        return 2
+    if args.reshard_to is not None and args.reshard_to < 1:
+        print("error: --reshard-to must be at least 1", file=sys.stderr)
+        return 2
 
     n = args.universe
     rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0xE17)))
@@ -222,21 +240,42 @@ def _cmd_engine(args) -> int:
           f"({args.partition}, chunk={args.chunk}, "
           f"backend={args.backend}) over n={n}")
 
-    # snapshot on a chunk boundary when possible; for short streams
-    # fall back to mid-stream so the checkpoint always carries state
-    half = ((args.updates // 2 // args.chunk) * args.chunk
-            or args.updates // 2)
-    start = time.perf_counter()
-    pipeline.ingest(indices[:half], deltas[:half])
-    blob = pipeline.checkpoint()
-    pipeline.close()
-    pipeline = ShardedPipeline.restore(blob, backend=args.backend)
-    pipeline.ingest(indices[half:], deltas[half:])
-    pipeline.flush()               # count applied updates, not queued ones
-    elapsed = time.perf_counter() - start
-    print(f"ingested {pipeline.updates_ingested} updates "
-          f"(checkpoint/restore at {half}: {len(blob)} bytes) "
-          f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} updates/s")
+    if args.reshard_at is not None:
+        # elastic K: grow (or shrink) the live pipeline mid-stream and
+        # keep ingesting — no replay, no checkpoint round-trip
+        at = min(max(0, args.reshard_at), args.updates)
+        new_k = (args.reshard_to if args.reshard_to is not None
+                 else 2 * args.shards)
+        start = time.perf_counter()
+        pipeline.ingest(indices[:at], deltas[:at])
+        reshard_start = time.perf_counter()
+        pipeline.reshard(new_k)
+        reshard_ms = (time.perf_counter() - reshard_start) * 1e3
+        pipeline.ingest(indices[at:], deltas[at:])
+        pipeline.flush()           # count applied updates, not queued ones
+        elapsed = time.perf_counter() - start
+        print(f"ingested {pipeline.updates_ingested} updates "
+              f"(resharded {args.shards} -> {pipeline.shards} shards at "
+              f"update {at} in {reshard_ms:.1f} ms) "
+              f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} "
+              f"updates/s")
+    else:
+        # snapshot on a chunk boundary when possible; for short streams
+        # fall back to mid-stream so the checkpoint always carries state
+        half = ((args.updates // 2 // args.chunk) * args.chunk
+                or args.updates // 2)
+        start = time.perf_counter()
+        pipeline.ingest(indices[:half], deltas[:half])
+        blob = pipeline.checkpoint()
+        pipeline.close()
+        pipeline = ShardedPipeline.restore(blob, backend=args.backend)
+        pipeline.ingest(indices[half:], deltas[half:])
+        pipeline.flush()           # count applied updates, not queued ones
+        elapsed = time.perf_counter() - start
+        print(f"ingested {pipeline.updates_ingested} updates "
+              f"(checkpoint/restore at {half}: {len(blob)} bytes) "
+              f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} "
+              f"updates/s")
 
     merged = pipeline.merged()
     pipeline.close()

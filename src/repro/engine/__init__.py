@@ -26,22 +26,23 @@ makes them operational:
 """
 
 from .checkpoint import (FORMAT_VERSION, EngineSpec, IncompatibleShards,
-                         StaleCheckpoint, checkpoint, clone, is_exact,
-                         is_registered, is_shardable, map_mismatches,
-                         merge_into, params_of, registered_types,
-                         register_linear_sketch, register_spec, restore,
-                         state_arrays)
+                         StaleCheckpoint, checkpoint, clone, fresh_twin,
+                         is_exact, is_registered, is_shardable,
+                         map_mismatches, merge_into, params_of,
+                         registered_types, register_linear_sketch,
+                         register_spec, restore, state_arrays)
 from .pipeline import ShardedPipeline
 from .workers import (BACKENDS, ProcessPool, SerialPool, WorkerCrashed,
-                      WorkerPool)
+                      WorkerPool, build_pool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
 
 __all__ = [
     "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
     "ProcessPool", "SerialPool", "StaleCheckpoint", "WorkerCrashed",
-    "WorkerPool", "checkpoint", "clone", "is_exact", "is_registered",
-    "is_shardable", "map_mismatches", "merge_into", "params_of",
-    "registered_types", "register_linear_sketch", "register_spec",
-    "restore", "state_arrays", "ShardedPipeline",
+    "WorkerPool", "build_pool", "checkpoint", "clone", "fresh_twin",
+    "is_exact", "is_registered", "is_shardable", "map_mismatches",
+    "merge_into", "params_of", "registered_types",
+    "register_linear_sketch", "register_spec", "restore",
+    "state_arrays", "ShardedPipeline",
 ]

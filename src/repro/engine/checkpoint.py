@@ -239,6 +239,18 @@ def clone(obj):
     return twin
 
 
+def fresh_twin(obj):
+    """An *empty* structure sharing ``obj``'s linear map.
+
+    The twin is exactly what the registered factory would have built:
+    same class, same constructor parameters (hash seeds included), but
+    state sketching the zero vector.  Resharding seats folded shard
+    state next to fresh twins — by linearity the twins contribute
+    nothing to a merge until they ingest their own updates.
+    """
+    return build_twin(type(obj).__name__, params_of(obj))
+
+
 # -- checkpoint / restore ----------------------------------------------------
 
 

@@ -26,6 +26,14 @@ operational:
   single query-able structure.  Shard compatibility is validated by
   the engine; mismatched maps raise
   :class:`~repro.engine.checkpoint.IncompatibleShards`.
+* **Elastic resharding.**  :meth:`ShardedPipeline.reshard` moves a
+  *running* pipeline to a new shard count (and optionally a new
+  partition scheme) without replaying the stream: linearity lets the
+  current states fold into one and re-seat next to fresh empty twins,
+  so the merged result is unchanged while subsequent ingestion routes
+  across the new K.  :meth:`ShardedPipeline.restore` accepts the same
+  override (``shards=``), booting a checkpoint taken at one K straight
+  into another.
 * **Checkpoint/restore.**  ``checkpoint()`` snapshots every shard plus
   the pipeline's partition state; :meth:`ShardedPipeline.restore`
   rebuilds the pipeline mid-stream and ingestion continues
@@ -50,9 +58,10 @@ import json
 import numpy as np
 
 from .checkpoint import (FORMAT_VERSION, IncompatibleShards, StaleCheckpoint,
-                         checkpoint as snapshot, clone, map_mismatches,
-                         merge_into, restore as restore_blob, spec_for)
-from .workers import BACKENDS, ProcessPool, SerialPool
+                         checkpoint as snapshot, clone, fresh_twin,
+                         map_mismatches, merge_into,
+                         restore as restore_blob, spec_for)
+from .workers import BACKENDS, ProcessPool, build_pool
 
 _PIPELINE_MAGIC = b"RPROPL"
 
@@ -96,7 +105,9 @@ def _as_int64(values, what: str, integral_only: bool = False) -> np.ndarray:
         if arr.dtype.kind == "f" and arr.size \
                 and not np.all(np.abs(arr) < 2.0 ** 63):
             raise ValueError(f"{what} exceed int64 range")
-    return arr.astype(np.int64)
+    # A bare int (or 0-d array) passes every check above but cannot be
+    # sliced by the chunk loop; promote it to a length-1 batch.
+    return np.atleast_1d(arr.astype(np.int64))
 
 
 def _header_int(header: dict, key: str, minimum: int) -> int:
@@ -108,6 +119,52 @@ def _header_int(header: dict, key: str, minimum: int) -> int:
             f"corrupt pipeline checkpoint: {key}={value!r} "
             f"(expected an integer >= {minimum})")
     return value
+
+
+def _fold_tree(structures: list, clone_targets: bool):
+    """Fold shard states into one with a binary merge tree.
+
+    ``O(log K)`` depth — the distributed-reduce shape.  With
+    ``clone_targets`` the first level merges into clones so the input
+    structures are never mutated (``merge_into`` never touches its
+    source); without it the inputs are consumed as accumulators.
+    """
+    level = []
+    for i in range(0, len(structures), 2):
+        accumulator = clone(structures[i]) if clone_targets \
+            else structures[i]
+        if i + 1 < len(structures):
+            merge_into(accumulator, structures[i + 1])
+        level.append(accumulator)
+    while len(level) > 1:
+        paired = []
+        for i in range(0, len(level) - 1, 2):
+            merge_into(level[i], level[i + 1])
+            paired.append(level[i])
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def _seat_states(folded, shards: int) -> list:
+    """The folded state plus ``shards - 1`` empty identically-seeded
+    twins: by linearity this K'-shard layout merges back to exactly
+    ``folded``, and subsequent routing distributes across all K'."""
+    return [folded] + [fresh_twin(folded) for _ in range(shards - 1)]
+
+
+def _proven(pool):
+    """The pool, once a flush barrier proves every worker healthy —
+    a worker that fails to restore its blob surfaces here, and the
+    half-built pool is torn down before the error propagates.  (The
+    serial backend's flush is a no-op: construction already ran.)"""
+    try:
+        pool.flush()
+    except BaseException:
+        pool.close()
+        raise
+    return pool
 
 
 class ShardedPipeline:
@@ -156,15 +213,9 @@ class ShardedPipeline:
         built = [factory() for _ in range(int(shards))]
         self._validate_shards(built)
         self._k = len(built)
-        self._pool = self._build_pool(backend, built)
-
-    @staticmethod
-    def _build_pool(backend: str, built: list):
-        if backend == "process":
-            # Workers restore from checkpoint blobs, so the factory
-            # (often a closure) never crosses the process boundary.
-            return ProcessPool([snapshot(shard) for shard in built])
-        return SerialPool(built)
+        # Under "process" the workers restore from checkpoint blobs,
+        # so the factory (often a closure) never crosses the boundary.
+        self._pool = build_pool(backend, built)
 
     @staticmethod
     def _validate_shards(built: list) -> None:
@@ -330,23 +381,59 @@ class ShardedPipeline:
         :mod:`repro.engine.registry`).
         """
         self._require_open()
-        structures = self._pool.structures()
-        level = []
-        for i in range(0, len(structures), 2):
-            accumulator = (clone(structures[i]) if self._pool.shares_state
-                           else structures[i])
-            if i + 1 < len(structures):
-                merge_into(accumulator, structures[i + 1])
-            level.append(accumulator)
-        while len(level) > 1:
-            paired = []
-            for i in range(0, len(level) - 1, 2):
-                merge_into(level[i], level[i + 1])
-                paired.append(level[i])
-            if len(level) % 2:
-                paired.append(level[-1])
-            level = paired
-        return level[0]
+        return _fold_tree(self._pool.structures(),
+                          clone_targets=self._pool.shares_state)
+
+    # -- elastic resharding --------------------------------------------------
+
+    def reshard(self, new_shards: int, *,
+                partition: str | None = None) -> "ShardedPipeline":
+        """Re-partition the live pipeline onto ``new_shards`` shards.
+
+        Exploits linearity: the current shard states are folded with
+        the merge tree, the worker pool is rebuilt at the new K with
+        identically-seeded fresh instances (empty twins built from the
+        registry, so a restored pipeline without its factory reshards
+        too), and the folded state is seated into shard 0 — the new
+        layout's :meth:`merged` result is byte-identical to the
+        pre-reshard pipeline for integer/modular-state structures
+        (adding an all-zero twin is exact) and ulp-close for
+        float-state ones.  Subsequent :meth:`ingest` calls route under
+        the new K; ``updates_ingested`` carries over and the
+        round-robin cursor restarts at shard 0 (the old rotation is
+        meaningless at a different K).
+
+        Under ``backend="process"`` the old workers are drained with a
+        flush barrier before their states are folded, the new workers
+        are spawned from the seated states as checkpoint blobs (the
+        ordinary wire format) and proven healthy with a flush before
+        the old pool is torn down — a failure while spawning leaves
+        the pipeline running on its old topology.
+
+        ``partition`` optionally switches the routing scheme in the
+        same step (growing K is a natural moment to move from
+        round-robin to hash, say).  Returns ``self`` so a reshard can
+        be chained into an ingest pipeline.
+        """
+        self._require_open()
+        new_k = int(new_shards)
+        if new_k < 1:
+            raise ValueError("need at least one shard")
+        if partition is None:
+            partition = self.partition
+        elif partition not in _PARTITIONS:
+            raise ValueError("partition must be 'hash' or 'round_robin'")
+        self._pool.flush()     # drain in-flight chunks (and surface crashes)
+        folded = _fold_tree(self._pool.structures(),
+                            clone_targets=self._pool.shares_state)
+        new_pool = _proven(build_pool(self.backend,
+                                      _seat_states(folded, new_k)))
+        old_pool, self._pool = self._pool, new_pool
+        self._k = new_k
+        self.partition = partition
+        self._cursor = 0
+        old_pool.close()
+        return self
 
     # -- checkpoint / restore ------------------------------------------------
 
@@ -380,17 +467,30 @@ class ShardedPipeline:
         return out.getvalue()
 
     @classmethod
-    def restore(cls, data: bytes,
-                backend: str = "serial") -> "ShardedPipeline":
+    def restore(cls, data: bytes, backend: str = "serial",
+                shards: int | None = None) -> "ShardedPipeline":
         """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting.
 
         The header is fully validated (unknown partition, nonsense
-        chunk size, negative counters and a shard count that does not
-        match the framed payload all raise ``ValueError``) and the
-        payload must end exactly at the last shard blob — trailing
-        garbage is rejected rather than silently ignored.  ``backend``
-        chooses where the restored shards execute; it is an execution
-        choice, not part of the wire format.
+        chunk size, negative counters, a cursor out of range for the
+        checkpointed K and a shard count that does not match the
+        framed payload all raise ``ValueError``) and the payload must
+        end exactly at the last shard blob — trailing garbage is
+        rejected rather than silently ignored.  ``backend`` chooses
+        where the restored shards execute; it is an execution choice,
+        not part of the wire format.
+
+        ``shards`` optionally restores onto a *different* shard count
+        than the checkpoint was taken at: the checkpointed states are
+        folded with the merge tree and re-seated exactly as
+        :meth:`reshard` does, so a blob written at K=4 boots straight
+        into a K=8 (or K=1) pipeline whose merged state is
+        byte-identical for integer/modular-state structures.  The
+        full header (including the original cursor) is validated
+        against the checkpointed K first; after a cross-K restore the
+        round-robin cursor restarts at shard 0.  Cross-K restore folds
+        all checkpointed states in the restoring process even under
+        ``backend="process"``.
         """
         data = bytes(data)
         if data[:len(_PIPELINE_MAGIC)] != _PIPELINE_MAGIC:
@@ -454,7 +554,13 @@ class ShardedPipeline:
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, not {backend!r}")
-        if backend == "process":
+        if shards is not None and int(shards) != declared:
+            new_k = int(shards)
+            if new_k < 1:
+                raise ValueError("need at least one shard")
+        else:
+            new_k = None
+        if new_k is None and backend == "process":
             # Workers restore their own blobs, so the parent never
             # needs all K states in memory: restore only the head
             # shard for the registry checks, compare the other blobs'
@@ -471,16 +577,22 @@ class ShardedPipeline:
                         f"shard blob {i} ({blob_class}, {blob_params}) "
                         f"does not share shard 0's map "
                         f"({head_class}, {head_params})")
-            pool = ProcessPool(blobs)
-            try:
-                pool.flush()
-            except BaseException:
-                pool.close()
-                raise
+            pool = _proven(ProcessPool(blobs))
         else:
-            shards = [restore_blob(blob) for blob in blobs]
-            cls._validate_shards(shards)
-            pool = SerialPool(shards)
+            states = [restore_blob(blob) for blob in blobs]
+            cls._validate_shards(states)
+            if new_k is not None:
+                # Cross-K restore: fold the checkpointed states and
+                # seat them at the requested K, exactly as reshard()
+                # does on a live pipeline.  The header above was
+                # already validated against the *checkpointed*
+                # topology (cursor < declared), so a corrupt blob
+                # cannot hide behind the override.
+                states = _seat_states(
+                    _fold_tree(states, clone_targets=False), new_k)
+                declared = new_k
+                cursor = 0     # the old rotation is meaningless at new K
+            pool = _proven(build_pool(backend, states))
         pipeline = cls.__new__(cls)
         pipeline.partition = partition
         pipeline.chunk_size = chunk_size

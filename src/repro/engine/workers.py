@@ -52,6 +52,20 @@ _STOP_GRACE_S = 10.0
 BACKENDS = ("serial", "process")
 
 
+def build_pool(backend: str, structures: list) -> "WorkerPool":
+    """A pool of the named backend seeded with these shard structures.
+
+    The single construction point the pipeline uses at build, restore
+    and reshard time: ``serial`` adopts the structures directly,
+    ``process`` ships each one to its worker as a checkpoint blob (the
+    same wire format :meth:`WorkerPool.snapshots` returns), so nothing
+    unpicklable ever crosses the process boundary.
+    """
+    if backend == "process":
+        return ProcessPool([snapshot(shard) for shard in structures])
+    return SerialPool(structures)
+
+
 class WorkerCrashed(RuntimeError):
     """A shard worker process died or raised; its shard state is lost.
 

@@ -95,6 +95,20 @@ SHARDABLE = [case for case in CASES if case.shardable]
 CASE_IDS = [case.name for case in CASES]
 SHARDABLE_IDS = [case.name for case in SHARDABLE]
 
+#: (K_from, K_to, partition) crossings for the reshard equivalence
+#: suites: every shard count in {1, 2, 4, 8} appears both as a source
+#: and as a destination, growth and shrink are both covered, and the
+#: two partition schemes alternate.
+RESHARD_CROSSINGS = [
+    (1, 4, "hash"),
+    (2, 8, "round_robin"),
+    (4, 8, "hash"),
+    (8, 2, "round_robin"),
+    (4, 1, "hash"),
+    (2, 2, "round_robin"),
+]
+RESHARD_IDS = [f"K{a}toK{b}-{p}" for a, b, p in RESHARD_CROSSINGS]
+
 
 def random_turnstile(universe: int, length: int, seed: int):
     """A seeded general turnstile workload (insertions and deletions)."""

@@ -46,6 +46,33 @@ class TestInProcess:
         assert "backend=serial" in out
         assert "ingested 4000 updates" in out
 
+    def test_engine_reshard_mid_stream(self, capsys):
+        assert main(["engine", "--structure", "count-sketch", "-n", "512",
+                     "--updates", "4000", "--shards", "2",
+                     "--chunk", "512", "--reshard-at", "2000",
+                     "--reshard-to", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "resharded 2 -> 5 shards at update 2000" in out
+        assert "ingested 4000 updates" in out
+
+    def test_engine_reshard_default_target_doubles_k(self, capsys):
+        assert main(["engine", "--structure", "l0", "-n", "512",
+                     "--updates", "2000", "--shards", "3",
+                     "--chunk", "256", "--reshard-at", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "resharded 3 -> 6 shards" in out
+
+    def test_engine_reshard_flag_misuse_rejected(self, capsys):
+        # --reshard-to without --reshard-at would silently do nothing
+        assert main(["engine", "--structure", "l0", "-n", "256",
+                     "--updates", "500", "--reshard-to", "4"]) == 2
+        assert "requires --reshard-at" in capsys.readouterr().err
+        # --reshard-to 0 must not silently fall back to the default
+        assert main(["engine", "--structure", "l0", "-n", "256",
+                     "--updates", "500", "--reshard-at", "250",
+                     "--reshard-to", "0"]) == 2
+        assert "at least 1" in capsys.readouterr().err
+
     def test_engine_process_backend(self, capsys):
         assert main(["engine", "--structure", "count-sketch", "-n", "512",
                      "--updates", "4000", "--shards", "2",

@@ -282,3 +282,37 @@ class TestPipelineHeaderValidation:
         restored = ShardedPipeline.restore(self._blob())
         assert restored.updates_ingested == 16
         assert restored.shards == 2
+
+    def test_shards_override_does_not_bypass_validation(self):
+        """restore(..., shards=) folds and re-seats, but only after the
+        header passed the same checks as a plain restore — corruption
+        cannot hide behind the cross-K path."""
+        def bogus_partition(header):
+            header["partition"] = "bogus"
+
+        def inflate(header):
+            header["shards"] = 5   # more than the framed payload
+
+        with pytest.raises(ValueError, match="partition"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), bogus_partition),
+                shards=4)
+        with pytest.raises(ValueError, match="shard"):
+            ShardedPipeline.restore(
+                _tamper_pipeline_header(self._blob(), inflate), shards=4)
+        with pytest.raises(ValueError, match="trailing"):
+            ShardedPipeline.restore(self._blob() + b"junk", shards=4)
+
+    def test_shards_override_cross_k_restores_and_continues(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1),
+                                   shards=2, chunk_size=8)
+        pipeline.ingest(np.arange(16), np.ones(16, dtype=np.int64))
+        restored = ShardedPipeline.restore(pipeline.checkpoint(),
+                                           shards=4)
+        assert restored.shards == 4
+        assert restored.updates_ingested == 16
+        restored.ingest(np.arange(8), np.ones(8, dtype=np.int64))
+        pipeline.ingest(np.arange(8), np.ones(8, dtype=np.int64))
+        mine = state_arrays(pipeline.merged())
+        theirs = state_arrays(restored.merged())
+        assert all(np.array_equal(a, b) for a, b in zip(mine, theirs))

@@ -218,6 +218,35 @@ class TestShardValidation:
         with pytest.raises(ValueError):
             ShardedPipeline(factory, chunk_size=0)
 
+    def test_empty_batch_is_a_noop(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        assert pipeline.ingest([], []) == 0
+        assert pipeline.updates_ingested == 0
+
+    def test_scalar_ingest_promoted_to_length_one_batch(self):
+        """Regression: a bare int passes `_as_int64` as a 0-d array,
+        the shape check passes for two 0-d arrays, and the chunk loop
+        then died slicing them (`IndexError: too many indices`)."""
+        single = L0Sampler(64, seed=1)
+        single.update_many([5], [3])
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        assert pipeline.ingest(5, 3) == 1
+        assert pipeline.updates_ingested == 1
+        assert states_equal(single, pipeline.merged(), exact=True)
+
+    def test_zero_d_arrays_promoted_too(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        assert pipeline.ingest(np.int64(7), np.array(2)) == 1
+        assert pipeline.ingest(np.array(7.0), np.float64(-2)) == 1
+        assert pipeline.updates_ingested == 2
+
+    def test_scalar_against_vector_still_rejected(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
+        with pytest.raises(ValueError, match="equal length"):
+            pipeline.ingest(5, [1, 2])
+        with pytest.raises(ValueError, match="equal length"):
+            pipeline.ingest([1, 2], np.array(3))
+
     def test_fractional_deltas_rejected_not_truncated(self):
         """Silently flooring 0.5 -> 0 would diverge from the sketches'
         own float-accepting update path; the pipeline must refuse."""
@@ -226,6 +255,102 @@ class TestShardValidation:
             pipeline.ingest([1, 2], [0.5, -1.7])
         # integral floats are fine (a common producer artefact)
         assert pipeline.ingest([1, 2], [2.0, -1.0]) == 2
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 4], ids=lambda k: f"K{k}")
+class TestMergedIsIdempotent:
+    """merged() must be a pure read: repeatable, and harmless to the
+    pipeline's own shard state (regression for satellite audit — the
+    first fold level must clone whenever the pool shares state)."""
+
+    FACTORY = staticmethod(lambda: L0Sampler(96, delta=0.2, seed=6))
+
+    def test_two_consecutive_merged_calls_identical(self, shards):
+        pipeline = ShardedPipeline(self.FACTORY, shards=shards,
+                                   chunk_size=16)
+        indices, deltas = random_turnstile(96, 64, 15)
+        pipeline.ingest(indices, deltas)
+        shard_state_before = [
+            [np.array(a, copy=True) for a in state_arrays(shard)]
+            for shard in pipeline.shard_instances]
+        first = [np.array(a, copy=True)
+                 for a in state_arrays(pipeline.merged())]
+        second = state_arrays(pipeline.merged())
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        for before, shard in zip(shard_state_before,
+                                 pipeline.shard_instances):
+            assert all(np.array_equal(a, b)
+                       for a, b in zip(before, state_arrays(shard)))
+
+    def test_merged_then_more_ingest_stays_correct(self, shards):
+        single = self.FACTORY()
+        pipeline = ShardedPipeline(self.FACTORY, shards=shards,
+                                   chunk_size=16)
+        indices, deltas = random_turnstile(96, 64, 16)
+        single.update_many(indices, deltas)
+        pipeline.ingest(indices[:32], deltas[:32])
+        pipeline.merged()                     # must not corrupt shards
+        pipeline.ingest(indices[32:], deltas[32:])
+        assert states_equal(single, pipeline.merged(), exact=True)
+
+
+class TestRoundRobinCursorDeterminism:
+    """A pipeline checkpointed mid-rotation must resume routing at the
+    next shard in the rotation — compared via per-shard update counts
+    against an uninterrupted run (a cursor that silently reset to 0
+    would redistribute the remaining chunks and fail this)."""
+
+    @staticmethod
+    def _factory():
+        from repro.sketch import CountMin
+
+        return lambda: CountMin(64, buckets=8, rows=3, seed=2)
+
+    @staticmethod
+    def _per_shard_counts(pipeline):
+        # deltas are all 1, so one CountMin row sums to the number of
+        # updates that shard absorbed
+        return [int(state_arrays(shard)[0][0].sum())
+                for shard in pipeline.shard_instances]
+
+    def test_resumed_rotation_matches_uninterrupted(self):
+        shards, chunk, chunks = 3, 8, 7
+        indices = np.arange(chunk * chunks, dtype=np.int64) % 64
+        deltas = np.ones(chunk * chunks, dtype=np.int64)
+        split = 2 * chunk                     # cursor mid-rotation: 2
+
+        plain = ShardedPipeline(self._factory(), shards=shards,
+                                partition="round_robin", chunk_size=chunk)
+        plain.ingest(indices, deltas)
+
+        paused = ShardedPipeline(self._factory(), shards=shards,
+                                 partition="round_robin", chunk_size=chunk)
+        paused.ingest(indices[:split], deltas[:split])
+        assert paused._cursor == 2
+        resumed = ShardedPipeline.restore(paused.checkpoint())
+        assert resumed._cursor == 2
+        resumed.ingest(indices[split:], deltas[split:])
+
+        assert (self._per_shard_counts(resumed)
+                == self._per_shard_counts(plain)
+                == [3 * chunk, 2 * chunk, 2 * chunk])
+        assert resumed._cursor == plain._cursor == chunks % shards
+
+    def test_reshard_restarts_the_rotation_at_shard_zero(self):
+        shards, chunk = 3, 8
+        indices = np.arange(4 * chunk, dtype=np.int64) % 64
+        deltas = np.ones(4 * chunk, dtype=np.int64)
+        pipeline = ShardedPipeline(self._factory(), shards=shards,
+                                   partition="round_robin",
+                                   chunk_size=chunk)
+        pipeline.ingest(indices, deltas)      # cursor now 4 % 3 == 1
+        pipeline.reshard(2)
+        assert pipeline._cursor == 0
+        pipeline.ingest(indices, deltas)      # 4 chunks over 2 shards
+        counts = self._per_shard_counts(pipeline)
+        # shard 0 holds the folded pre-reshard state (4 chunks) plus
+        # chunks 0 and 2 of the new rotation; shard 1 chunks 1 and 3
+        assert counts == [4 * chunk + 2 * chunk, 2 * chunk]
 
 
 class TestMergedSamplesAgree:

@@ -1,0 +1,312 @@
+"""Elastic resharding: live topology changes must preserve the law.
+
+The engine's structures are linear maps of the frequency vector, so a
+pipeline's state can be folded down and re-seated onto any shard
+count without replaying the stream.  The load-bearing property tested
+here for every shardable registered type and K, K' in {1, 2, 4, 8}:
+
+    ingest(A); reshard(K'); ingest(B); merged()
+        ==  single-instance run over A + B
+
+byte-identical for integer/modular-state structures, allclose for the
+float-state ones — and the same via ``restore(..., shards=K')``, which
+boots a checkpoint taken at one K straight into another.
+
+``TestReshardProcessBackend`` spawns worker processes and runs in the
+CI worker lane (hard timeout), like everything else that forks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import L0Sampler
+from repro.engine import ShardedPipeline, state_arrays
+from repro.sketch import CountSketch
+
+from _engine_cases import (RESHARD_CROSSINGS, RESHARD_IDS, SHARDABLE,
+                           SHARDABLE_IDS, EngineCase, random_turnstile,
+                           states_equal)
+
+
+def _factory(case: EngineCase, universe: int, seed: int):
+    return lambda: case.factory(universe, seed)
+
+
+@pytest.mark.parametrize("crossing", RESHARD_CROSSINGS, ids=RESHARD_IDS)
+@pytest.mark.parametrize("case", SHARDABLE, ids=SHARDABLE_IDS)
+class TestReshardEqualsSingleStream:
+    def test_reshard_then_continue(self, case: EngineCase, crossing):
+        k_from, k_to, partition = crossing
+        universe, chunk, seed = 128, 16, 13
+        indices, deltas = random_turnstile(universe, 8 * chunk, seed)
+        split = 5 * chunk
+
+        single = case.factory(universe, seed + 1)
+        single.update_many(indices, deltas)
+
+        pipeline = ShardedPipeline(_factory(case, universe, seed + 1),
+                                   shards=k_from, partition=partition,
+                                   chunk_size=chunk)
+        pipeline.ingest(indices[:split], deltas[:split])
+        assert pipeline.reshard(k_to) is pipeline
+        assert pipeline.shards == k_to
+        pipeline.ingest(indices[split:], deltas[split:])
+        assert states_equal(single, pipeline.merged(), case.exact)
+
+    def test_restore_with_shards_override(self, case: EngineCase,
+                                          crossing):
+        k_from, k_to, partition = crossing
+        universe, chunk, seed = 128, 16, 29
+        indices, deltas = random_turnstile(universe, 8 * chunk, seed)
+        split = 5 * chunk
+
+        single = case.factory(universe, seed + 1)
+        single.update_many(indices, deltas)
+
+        pipeline = ShardedPipeline(_factory(case, universe, seed + 1),
+                                   shards=k_from, partition=partition,
+                                   chunk_size=chunk)
+        pipeline.ingest(indices[:split], deltas[:split])
+        resumed = ShardedPipeline.restore(pipeline.checkpoint(),
+                                          shards=k_to)
+        assert resumed.shards == k_to
+        assert resumed.updates_ingested == split
+        resumed.ingest(indices[split:], deltas[split:])
+        assert states_equal(single, resumed.merged(), case.exact)
+
+
+class TestReshardInvariants:
+    FACTORY = staticmethod(lambda: L0Sampler(64, delta=0.2, seed=3))
+
+    def _fed(self, shards=2, partition="round_robin", chunk=8):
+        pipeline = ShardedPipeline(self.FACTORY, shards=shards,
+                                   partition=partition, chunk_size=chunk)
+        indices, deltas = random_turnstile(64, 3 * chunk, 7)
+        pipeline.ingest(indices, deltas)
+        return pipeline
+
+    def test_merged_state_unchanged_by_reshard_alone(self):
+        """Fold + re-seat with no further ingestion is a no-op for the
+        merged state — byte-identical, not just equivalent."""
+        pipeline = self._fed(shards=3)
+        before = [np.array(a, copy=True)
+                  for a in state_arrays(pipeline.merged())]
+        pipeline.reshard(5)
+        after = state_arrays(pipeline.merged())
+        assert all(np.array_equal(a, b) for a, b in zip(before, after))
+
+    def test_counters_carry_over_and_cursor_resets(self):
+        pipeline = self._fed(shards=3, partition="round_robin", chunk=8)
+        assert pipeline._cursor == 3 % 3  # mid-rotation after 3 chunks
+        ingested = pipeline.updates_ingested
+        pipeline.ingest(np.arange(8), np.ones(8, dtype=np.int64))
+        assert pipeline._cursor == 1
+        pipeline.reshard(4)
+        assert pipeline.updates_ingested == ingested + 8
+        assert pipeline._cursor == 0
+
+    def test_partition_switch_in_the_same_step(self):
+        pipeline = self._fed(partition="round_robin")
+        pipeline.reshard(4, partition="hash")
+        assert pipeline.partition == "hash"
+        assert pipeline.shards == 4
+        single = self.FACTORY()
+        indices, deltas = random_turnstile(64, 24, 7)
+        single.update_many(indices, deltas)
+        extra = np.arange(10), np.ones(10, dtype=np.int64)
+        single.update_many(*extra)
+        pipeline.ingest(*extra)
+        assert states_equal(single, pipeline.merged(), exact=True)
+
+    def test_repeated_reshard_chain(self):
+        """2 -> 5 -> 1 -> 3 with ingestion between every hop still
+        equals the single-instance run (folds compose)."""
+        indices, deltas = random_turnstile(64, 64, 17)
+        single = self.FACTORY()
+        single.update_many(indices, deltas)
+        pipeline = ShardedPipeline(self.FACTORY, shards=2, chunk_size=8)
+        for hop, k in zip(range(4), (None, 5, 1, 3)):
+            if k is not None:
+                pipeline.reshard(k)
+            sl = slice(hop * 16, (hop + 1) * 16)
+            pipeline.ingest(indices[sl], deltas[sl])
+        assert states_equal(single, pipeline.merged(), exact=True)
+
+    def test_invalid_new_shard_count_rejected(self):
+        pipeline = self._fed()
+        with pytest.raises(ValueError, match="at least one"):
+            pipeline.reshard(0)
+        with pytest.raises(ValueError, match="at least one"):
+            pipeline.reshard(-2)
+        # the failed reshard must not have disturbed the pipeline
+        assert pipeline.shards == 2
+        pipeline.ingest([1], [1])
+
+    def test_invalid_partition_rejected(self):
+        pipeline = self._fed()
+        with pytest.raises(ValueError, match="partition"):
+            pipeline.reshard(4, partition="modulo")
+        assert pipeline.partition == "round_robin"
+
+    def test_closed_pipeline_refuses(self):
+        pipeline = self._fed()
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pipeline.reshard(4)
+
+    def test_poisoned_pipeline_refuses(self):
+        """A torn chunk must not be laundered through a reshard fold."""
+        pipeline = self._fed()
+
+        def failing_submit(shard, idx, dlt):
+            raise RuntimeError("boom")
+
+        pipeline._pool.submit = failing_submit
+        with pytest.raises(RuntimeError, match="boom"):
+            pipeline.ingest(np.arange(8), np.ones(8, dtype=np.int64))
+        with pytest.raises(RuntimeError, match="inconsistent"):
+            pipeline.reshard(4)
+
+    def test_restored_pipeline_reshards_without_its_factory(self):
+        """restore() has no factory; reshard must rebuild fresh twins
+        from the registry alone."""
+        pipeline = self._fed()
+        resumed = ShardedPipeline.restore(pipeline.checkpoint())
+        resumed.reshard(6)
+        assert resumed.shards == 6
+        assert states_equal(pipeline.merged(), resumed.merged(),
+                            exact=True)
+
+
+class TestRestoreShardsOverride:
+    FACTORY = staticmethod(lambda: L0Sampler(64, delta=0.2, seed=3))
+
+    def _blob(self, partition="round_robin"):
+        pipeline = ShardedPipeline(self.FACTORY, shards=3,
+                                   partition=partition, chunk_size=8)
+        indices, deltas = random_turnstile(64, 32, 5)  # 4 chunks
+        pipeline.ingest(indices, deltas)
+        return pipeline, pipeline.checkpoint()
+
+    def test_same_k_override_is_a_plain_restore(self):
+        """shards= equal to the checkpointed K must not fold/re-seat:
+        the cursor and per-shard layout survive exactly."""
+        pipeline, blob = self._blob()
+        resumed = ShardedPipeline.restore(blob, shards=3)
+        assert resumed.shards == 3
+        assert resumed._cursor == pipeline._cursor == 4 % 3
+        for mine, theirs in zip(pipeline.shard_instances,
+                                resumed.shard_instances):
+            assert states_equal(mine, theirs, exact=True)
+
+    def test_cross_k_override_resets_cursor(self):
+        pipeline, blob = self._blob()
+        resumed = ShardedPipeline.restore(blob, shards=5)
+        assert resumed.shards == 5
+        assert resumed._cursor == 0
+        assert resumed.updates_ingested == pipeline.updates_ingested
+
+    def test_invalid_override_rejected(self):
+        _, blob = self._blob()
+        with pytest.raises(ValueError, match="at least one"):
+            ShardedPipeline.restore(blob, shards=0)
+        with pytest.raises(ValueError, match="at least one"):
+            ShardedPipeline.restore(blob, shards=-4)
+
+    def test_tampered_cursor_rejected_despite_override(self):
+        """The override must not bypass header validation: a cursor out
+        of range for the *checkpointed* K is corruption even when the
+        caller asks for a K it would fit."""
+        import json
+
+        _, blob = self._blob()
+        header_len = int.from_bytes(blob[6:10], "big")
+        header = json.loads(blob[10:10 + header_len].decode("utf-8"))
+        header["cursor"] = header["shards"]      # out of range at K=3
+        encoded = json.dumps(header).encode("utf-8")
+        tampered = (blob[:6] + len(encoded).to_bytes(4, "big") + encoded
+                    + blob[10 + header_len:])
+        with pytest.raises(ValueError, match="cursor"):
+            ShardedPipeline.restore(tampered, shards=8)
+
+
+class TestReshardProcessBackend:
+    """Everything here spawns worker processes (CI worker lane)."""
+
+    CASES = [case for case in SHARDABLE
+             if case.name in ("CountSketch", "L0Sampler", "StableSketch",
+                              "CountMedianHeavyHitters")]
+
+    @pytest.mark.parametrize("k_from,k_to", [(2, 4), (4, 1)])
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_process_reshard_equals_single(self, case, k_from, k_to):
+        universe, chunk, seed = 128, 32, 19
+        indices, deltas = random_turnstile(universe, 6 * chunk, seed)
+        split = 4 * chunk
+
+        single = case.factory(universe, seed + 1)
+        single.update_many(indices, deltas)
+
+        with ShardedPipeline(_factory(case, universe, seed + 1),
+                             shards=k_from, chunk_size=chunk,
+                             backend="process") as pipeline:
+            pipeline.ingest(indices[:split], deltas[:split])
+            pipeline.reshard(k_to)
+            assert pipeline.shards == k_to
+            pipeline.ingest(indices[split:], deltas[split:])
+            merged = pipeline.merged()
+        assert states_equal(single, merged, case.exact)
+
+    def test_old_workers_exit_after_reshard(self):
+        factory = lambda: CountSketch(64, m=8, rows=5, seed=2)  # noqa: E731
+        with ShardedPipeline(factory, shards=2, chunk_size=16,
+                             backend="process") as pipeline:
+            old = [worker.process for worker in pipeline._pool._workers]
+            indices, deltas = random_turnstile(64, 64, 23)
+            pipeline.ingest(indices, deltas)
+            pipeline.reshard(3)
+            assert all(not process.is_alive() for process in old)
+            assert all(process.exitcode == 0 for process in old)
+            assert len(pipeline._pool._workers) == 3
+            pipeline.ingest(indices, deltas)   # new topology ingests
+
+    def test_cross_backend_cross_k_restore(self):
+        """A process-backend checkpoint at K=4 restores serial at K=2
+        and vice versa — the override composes with the backend
+        choice because neither is part of the wire format."""
+        factory = lambda: CountSketch(64, m=8, rows=5, seed=2)  # noqa: E731
+        indices, deltas = random_turnstile(64, 96, 31)
+        single = factory()
+        single.update_many(indices, deltas)
+
+        with ShardedPipeline(factory, shards=4, chunk_size=16,
+                             backend="process") as pipeline:
+            pipeline.ingest(indices[:64], deltas[:64])
+            blob = pipeline.checkpoint()
+
+        serial = ShardedPipeline.restore(blob, shards=2)
+        serial.ingest(indices[64:], deltas[64:])
+        assert states_equal(single, serial.merged(), exact=True)
+
+        with ShardedPipeline.restore(blob, backend="process",
+                                     shards=8) as process:
+            process.ingest(indices[64:], deltas[64:])
+            merged = process.merged()
+        assert states_equal(single, merged, exact=True)
+
+    def test_process_merged_idempotent_after_reshard(self):
+        """Two merged() calls and a merged()-then-ingest on the
+        resharded process pipeline stay consistent (snapshot copies
+        are consumed, never shared)."""
+        factory = lambda: L0Sampler(64, delta=0.2, seed=2)  # noqa: E731
+        indices, deltas = random_turnstile(64, 64, 37)
+        with ShardedPipeline(factory, shards=3, chunk_size=16,
+                             backend="process") as pipeline:
+            pipeline.ingest(indices, deltas)
+            pipeline.reshard(2)
+            first = state_arrays(pipeline.merged())
+            second = state_arrays(pipeline.merged())
+            assert all(np.array_equal(a, b)
+                       for a, b in zip(first, second))
+            pipeline.ingest([1], [1])
+            pipeline.flush()

@@ -159,6 +159,31 @@ class TestLifecycle:
             assert states_equal(single, merged, exact=True)
 
 
+@pytest.mark.parametrize("shards", [2, 3], ids=lambda k: f"K{k}")
+class TestMergedIsIdempotentUnderProcessBackend:
+    """merged() consumes worker snapshot *copies*; two consecutive
+    calls, and a merged() followed by more ingestion, must leave the
+    workers' live state untouched (regression companion to the serial
+    suite in test_engine_properties.py)."""
+
+    FACTORY = staticmethod(lambda: L0Sampler(96, delta=0.2, seed=6))
+
+    def test_repeated_merged_and_continue(self, shards):
+        single = self.FACTORY()
+        indices, deltas = random_turnstile(96, 64, 21)
+        single.update_many(indices, deltas)
+        with ShardedPipeline(self.FACTORY, shards=shards, chunk_size=16,
+                             backend="process") as pipeline:
+            pipeline.ingest(indices[:32], deltas[:32])
+            first = state_arrays(pipeline.merged())
+            second = state_arrays(pipeline.merged())
+            assert all(np.array_equal(a, b)
+                       for a, b in zip(first, second))
+            pipeline.ingest(indices[32:], deltas[32:])
+            merged = pipeline.merged()
+        assert states_equal(single, merged, exact=True)
+
+
 class TestWorkerCrash:
     FACTORY = staticmethod(lambda: L0Sampler(64, delta=0.2, seed=1))
 
