@@ -49,6 +49,7 @@ from .core import (L0Sampler, L1Sampler, LpSampler, LpSamplerConfig,
 from .engine import ShardedPipeline
 from .engine import checkpoint as engine_checkpoint
 from .engine import restore as engine_restore
+from .service import QueryService
 from .streams import UpdateStream, items_to_updates
 
 __version__ = "1.0.0"
@@ -64,7 +65,7 @@ __all__ = [
     "LpSamplerRound", "PerfectLpSampler", "RepeatedSampler",
     "ReservoirSampler", "SampleResult", "TwoPassL0Sampler",
     "lp_distribution", "total_variation",
-    "ShardedPipeline", "engine_checkpoint", "engine_restore",
-    "UpdateStream", "items_to_updates",
+    "QueryService", "ShardedPipeline", "engine_checkpoint",
+    "engine_restore", "UpdateStream", "items_to_updates",
     "__version__",
 ]

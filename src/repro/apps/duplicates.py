@@ -102,6 +102,12 @@ class DuplicateFinder:
                                        repetition=rep)
         return SampleResult.fail("no-positive-sample")
 
+    def duplicates(self) -> SampleResult:
+        """Uniform query surface: alias of :meth:`result` so every
+        duplicate finder answers the service's ``duplicates()`` op
+        under one name."""
+        return self.result()
+
     def space_report(self) -> SpaceReport:
         """Itemised space of all repetitions (paper accounting)."""
         report = SpaceReport(label=f"duplicate-finder(delta={self.delta})")
@@ -178,6 +184,11 @@ class ShortStreamDuplicateFinder:
                 return SampleResult.ok(res.index, res.estimate,
                                        repetition=rep)
         return SampleResult.fail("dense-and-no-positive-sample")
+
+    def duplicates(self):
+        """Uniform query surface: alias of :meth:`result` (which may
+        also return :data:`NO_DUPLICATE`)."""
+        return self.result()
 
     def space_report(self) -> SpaceReport:
         report = SpaceReport(label=f"short-duplicates(s={self.s})")

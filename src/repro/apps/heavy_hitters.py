@@ -27,6 +27,24 @@ from ..sketch.stable import StableSketch
 from ..space.accounting import SpaceReport
 
 
+def _query_phi(structure, phi: float | None) -> float:
+    """Validate an optional per-query phi override.
+
+    A structure sized for ``structure.phi`` answers any coarser
+    ``phi' >= structure.phi`` with the same validity guarantee (the
+    point-estimate error bound only improves); a finer threshold would
+    silently void the guarantee, so it raises instead.
+    """
+    if phi is None:
+        return structure.phi
+    phi = float(phi)
+    if not structure.phi <= phi < 1.0:
+        raise ValueError(
+            f"query phi={phi} out of range: this structure is sized "
+            f"for phi >= {structure.phi} (and phi must lie below 1)")
+    return phi
+
+
 class CountSketchHeavyHitters:
     """Lp heavy hitters via count-sketch with m = ceil(c / phi^p)."""
 
@@ -64,14 +82,24 @@ class CountSketchHeavyHitters:
         self.update_many(np.array([index], dtype=np.int64),
                          np.array([delta], dtype=np.int64))
 
-    def heavy_hitters(self) -> np.ndarray:
-        """The reported set S (indices, ascending)."""
+    def heavy_hitters(self, phi: float | None = None) -> np.ndarray:
+        """The reported set S (indices, ascending).
+
+        ``phi`` optionally queries at a *coarser* threshold than the
+        structure was built for; see :func:`_query_phi`.
+        """
+        phi = _query_phi(self, phi)
         norm = self._norm.norm_estimate()
         if norm <= 0:
             return np.array([], dtype=np.int64)
         estimates = self._sketch.estimate_all()
-        threshold = self.threshold_factor * self.phi * norm
+        threshold = self.threshold_factor * phi * norm
         return np.flatnonzero(np.abs(estimates) >= threshold).astype(np.int64)
+
+    def norm_estimate(self) -> float:
+        """The ``||x||_p`` estimate backing the threshold (public query
+        surface: the service's ``norm(p)`` op reads it)."""
+        return float(self._norm.norm_estimate())
 
     def space_report(self) -> SpaceReport:
         report = SpaceReport(
@@ -118,9 +146,11 @@ class CountMedianHeavyHitters:
         self.update_many(np.array([index], dtype=np.int64),
                          np.array([delta], dtype=np.int64))
 
-    def heavy_hitters(self) -> np.ndarray:
+    def heavy_hitters(self, phi: float | None = None) -> np.ndarray:
         """Report S against the exact L1 mass (strict turnstile:
-        ``||x||_1 = sum of updates``)."""
+        ``||x||_1 = sum of updates``).  ``phi`` optionally coarsens the
+        query threshold; see :func:`_query_phi`."""
+        phi = _query_phi(self, phi)
         norm = float(self._sum)
         if norm <= 0:
             return np.array([], dtype=np.int64)
@@ -129,8 +159,13 @@ class CountMedianHeavyHitters:
             estimates = self._sketch.estimate_many(everyone)
         else:
             estimates = self._sketch.estimate_median_many(everyone)
-        threshold = self.threshold_factor * self.phi * norm
+        threshold = self.threshold_factor * phi * norm
         return np.flatnonzero(np.abs(estimates) >= threshold).astype(np.int64)
+
+    def l1_mass(self) -> float:
+        """The running update sum — exactly ``||x||_1`` in the strict
+        turnstile model (public query surface for ``norm(1)``)."""
+        return float(self._sum)
 
     def space_report(self) -> SpaceReport:
         report = SpaceReport(

@@ -70,6 +70,11 @@ class FrequencyMomentEstimator:
             return None
         return float(np.mean(terms))
 
+    def moment(self) -> float | None:
+        """Uniform query surface: alias of :meth:`estimate` so the
+        service's ``moment()`` op has a stable name."""
+        return self.estimate()
+
     def space_report(self) -> SpaceReport:
         report = SpaceReport(label=f"moment-estimator(q={self.q})")
         report.add(self._norm.space_report())

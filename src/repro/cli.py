@@ -12,6 +12,7 @@ Commands
 ``hh``          report Lp heavy hitters on a planted instance
 ``space``       print the space table for a structure across n
 ``engine``      sharded ingestion: partition, checkpoint/resume, merge
+``serve``       snapshot-isolated query service over a live stream
 """
 
 from __future__ import annotations
@@ -84,6 +85,50 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="shard count to reshard to "
                              "(default: 2 * --shards)")
     engine.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="snapshot-isolated query service over a live "
+                      "stream (ingest-while-query loop)")
+    serve.add_argument("--structure",
+                       choices=["count-sketch", "l0", "l1", "hh", "ams"],
+                       default="hh")
+    serve.add_argument("-n", "--universe", type=int, default=4096)
+    serve.add_argument("--updates", type=int, default=50_000)
+    serve.add_argument("--batches", type=int, default=20,
+                       help="ingest batches (one query round follows "
+                            "each batch)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--chunk", type=int, default=4096)
+    serve.add_argument("--backend", choices=["serial", "process"],
+                       default="serial")
+    serve.add_argument("--queries", default=None, metavar="SPEC",
+                       help="comma-separated ops, each 'op' or "
+                            "'op:arg' (e.g. "
+                            "'heavy_hitters,norm:1,point:7'); default "
+                            "picks a sensible op for the structure")
+    serve.add_argument("--refresh-every", type=int, default=None,
+                       metavar="N",
+                       help="auto-capture a snapshot every N ingested "
+                            "updates (default: one batch)")
+    serve.add_argument("--keep", type=int, default=4,
+                       help="how many epochs stay queryable")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="LRU result-cache capacity (0 disables)")
+    serve.add_argument("--watermark-high", type=float, default=None,
+                       metavar="RATE",
+                       help="offered load (updates/s) above which the "
+                            "service reshards up (requires "
+                            "--watermark-low)")
+    serve.add_argument("--watermark-low", type=float, default=None,
+                       metavar="RATE",
+                       help="offered load below which it reshards "
+                            "down (requires --watermark-high)")
+    serve.add_argument("--watermark-sustain", type=int, default=3,
+                       help="consecutive observations beyond a "
+                            "watermark before acting")
+    serve.add_argument("--max-shards", type=int, default=8,
+                       help="autoscaler shard-count ceiling")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -297,6 +342,206 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+#: How a CLI query spec's ``op:arg`` value maps onto the algebra's
+#: keyword argument (ops absent here take no argument).
+_SERVE_ARG_SPEC = {
+    "heavy_hitters": ("phi", float),
+    "point": ("index", int),
+    "norm": ("p", float),
+    "sample_l0": ("count", int),
+    "top": ("count", int),
+}
+
+#: Ops that need a second live snapshot and so have no CLI form.
+_SERVE_UNSERVABLE = ("inner",)
+
+#: Default query round per servable structure.
+_SERVE_DEFAULT_QUERIES = {
+    "count-sketch": "top:5",
+    "l0": "sample_l0",
+    "l1": "sample_lp",
+    "hh": "heavy_hitters",
+    "ams": "norm:2",
+}
+
+
+def _parse_serve_queries(spec: str, served_type) -> list:
+    """``"op,op:arg,..."`` -> [(label, op, kwargs)]; ValueError says
+    what's wrong (unknown op, unsupported by the structure, malformed
+    arg).  The label is the spec item as the user wrote it, so two
+    invocations of one op with different arguments stay distinct in
+    the report."""
+    from repro.engine import query_algebra, query_capabilities
+
+    algebra = query_algebra()
+    supported = query_capabilities(served_type)
+    parsed = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            raise ValueError("empty query in --queries")
+        op, _, raw = item.partition(":")
+        if op in _SERVE_UNSERVABLE:
+            raise ValueError(
+                f"query {op!r} needs a second snapshot operand and "
+                f"cannot be driven from --queries")
+        if op not in algebra:
+            raise ValueError(
+                f"unknown query {op!r}; the algebra is: "
+                f"{', '.join(algebra)}")
+        if op not in supported:
+            raise ValueError(
+                f"{served_type.__name__} does not support {op!r}; it "
+                f"supports: {', '.join(sorted(supported)) or 'nothing'}")
+        kwargs = {}
+        if raw:
+            if op not in _SERVE_ARG_SPEC:
+                raise ValueError(f"query {op!r} takes no argument "
+                                 f"(got {raw!r})")
+            name, cast = _SERVE_ARG_SPEC[op]
+            try:
+                kwargs[name] = cast(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad argument {raw!r} for query {op!r} "
+                    f"(expected {cast.__name__})") from None
+        parsed.append((item, op, kwargs))
+    return parsed
+
+
+def _serve_policy(args, batch: int):
+    """The watermark policy the flags describe (None when disabled).
+
+    ``min_batch`` is pinned to the loop's actual batch size: the
+    default (256) exists to discard noisy tiny-batch rate estimates in
+    real services, but here every batch is the same deliberate size —
+    a user who configured watermarks must never get a silently inert
+    autoscaler just because ``--updates/--batches`` came out small.
+    """
+    from repro.service import WatermarkPolicy
+
+    if (args.watermark_high is None) != (args.watermark_low is None):
+        raise ValueError(
+            "--watermark-high and --watermark-low must be given "
+            "together")
+    if args.watermark_high is None:
+        return None
+    return WatermarkPolicy(high=args.watermark_high,
+                           low=args.watermark_low,
+                           sustain=args.watermark_sustain,
+                           max_shards=args.max_shards,
+                           min_shards=1,
+                           min_batch=max(1, min(256, batch)))
+
+
+def _cmd_serve(args) -> int:
+    """Ingest-while-query: feed a synthetic stream in batches and
+    answer the requested queries from epoch-versioned snapshots after
+    every batch, then report the service counters."""
+    from repro.core import L0Sampler, L1Sampler
+    from repro.apps.heavy_hitters import CountMedianHeavyHitters
+    from repro.sketch import AMSSketch, CountSketch
+
+    n = args.universe
+    factories = {
+        "count-sketch": lambda: CountSketch(n, m=32, rows=9,
+                                            seed=args.seed),
+        "l0": lambda: L0Sampler(n, delta=0.1, seed=args.seed),
+        "l1": lambda: L1Sampler(n, eps=0.5, seed=args.seed, rounds=4),
+        "hh": lambda: CountMedianHeavyHitters(n, phi=0.1, seed=args.seed,
+                                              strict=False),
+        "ams": lambda: AMSSketch(n, groups=7, per_group=6,
+                                 seed=args.seed),
+    }
+    served_types = {
+        "count-sketch": CountSketch,
+        "l0": L0Sampler,
+        "l1": L1Sampler,
+        "hh": CountMedianHeavyHitters,
+        "ams": AMSSketch,
+    }
+    served_type = served_types[args.structure]
+
+    # Flag validation first — a bad spec must fail before any
+    # structure is built, worker processes spawn or updates flow.
+    try:
+        if args.universe < 8:
+            raise ValueError("--universe must be >= 8")
+        if args.shards < 1:
+            raise ValueError("--shards must be >= 1")
+        if args.chunk < 1:
+            raise ValueError("--chunk must be >= 1")
+        if args.updates < 1:
+            raise ValueError("--updates must be >= 1")
+        if args.batches < 1:
+            raise ValueError("--batches must be >= 1")
+        if args.refresh_every is not None and args.refresh_every < 1:
+            raise ValueError(
+                f"--refresh-every must be >= 1, not {args.refresh_every}")
+        if args.keep < 1:
+            raise ValueError(f"--keep must be >= 1, not {args.keep}")
+        if args.cache_size < 0:
+            raise ValueError(
+                f"--cache-size must be >= 0, not {args.cache_size}")
+        policy = _serve_policy(args, max(1, args.updates // args.batches))
+        spec = (args.queries if args.queries is not None
+                else _SERVE_DEFAULT_QUERIES[args.structure])
+        queries = _parse_serve_queries(spec, served_type)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.engine import ShardedPipeline
+    from repro.service import QueryService
+
+    rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0x5EF)))
+    indices = rng.integers(0, n, size=args.updates, dtype=np.int64)
+    deltas = rng.integers(-3, 10, size=args.updates, dtype=np.int64)
+    hot = rng.choice(n, size=3, replace=False)
+    hot_mask = rng.random(args.updates) < 0.2
+    indices[hot_mask] = rng.choice(hot, size=int(hot_mask.sum()))
+    deltas[hot_mask] = np.abs(deltas[hot_mask]) + 1
+
+    batch = max(1, args.updates // args.batches)
+    refresh = args.refresh_every if args.refresh_every is not None \
+        else batch
+    pipeline = ShardedPipeline(factories[args.structure],
+                               shards=args.shards,
+                               chunk_size=args.chunk,
+                               backend=args.backend)
+    print(f"serving {args.structure} x {args.shards} shards "
+          f"(backend={args.backend}, refresh every {refresh} updates, "
+          f"keep {args.keep} epochs, cache {args.cache_size}) over "
+          f"n={n}")
+    print(f"queries per round: {spec}")
+    with QueryService(pipeline, refresh_every=refresh, keep=args.keep,
+                      cache_size=args.cache_size, policy=policy) as svc:
+        answers = {}
+        for start in range(0, args.updates, batch):
+            stop = min(start + batch, args.updates)
+            svc.ingest(indices[start:stop], deltas[start:stop])
+            for label, op, kwargs in queries:
+                answers[label] = svc.query(op, **kwargs)
+        final_epoch = svc.refresh().epoch
+        for label, op, kwargs in queries:
+            answers[label] = svc.query(op, **kwargs)
+        stats = svc.stats
+        for label, value in answers.items():
+            text = str(value)
+            print(f"  {label} @ epoch {final_epoch}: "
+                  f"{text[:70] + ' ...' if len(text) > 70 else text}")
+        print(f"served {stats.queries} queries over "
+              f"{stats.snapshots_captured} snapshots "
+              f"(epochs kept: {svc.epochs})")
+        print(f"cache: {stats.cache_hits} hits / "
+              f"{stats.cache_misses} misses "
+              f"(hit rate {stats.hit_rate:.0%}); "
+              f"ingested {stats.ingest_updates} updates; "
+              f"reshards: {stats.reshards} "
+              f"(final K={svc.pipeline.shards})")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -306,6 +551,7 @@ def main(argv=None) -> int:
         "hh": _cmd_hh,
         "space": _cmd_space,
         "engine": _cmd_engine,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

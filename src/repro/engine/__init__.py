@@ -36,13 +36,17 @@ from .workers import (BACKENDS, ProcessPool, SerialPool, WorkerCrashed,
                       WorkerPool, build_pool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
+from .registry import (QueryCapability, UnsupportedQuery, query_algebra,
+                       query_capabilities, query_capability,
+                       register_query)
 
 __all__ = [
     "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
-    "ProcessPool", "SerialPool", "StaleCheckpoint", "WorkerCrashed",
-    "WorkerPool", "build_pool", "checkpoint", "clone", "fresh_twin",
-    "is_exact", "is_registered", "is_shardable", "map_mismatches",
-    "merge_into", "params_of", "registered_types",
-    "register_linear_sketch", "register_spec", "restore",
-    "state_arrays", "ShardedPipeline",
+    "ProcessPool", "QueryCapability", "SerialPool", "StaleCheckpoint",
+    "UnsupportedQuery", "WorkerCrashed", "WorkerPool", "build_pool",
+    "checkpoint", "clone", "fresh_twin", "is_exact", "is_registered",
+    "is_shardable", "map_mismatches", "merge_into", "params_of",
+    "query_algebra", "query_capabilities", "query_capability",
+    "registered_types", "register_linear_sketch", "register_query",
+    "register_spec", "restore", "state_arrays", "ShardedPipeline",
 ]

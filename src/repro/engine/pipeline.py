@@ -210,8 +210,10 @@ class ShardedPipeline:
         self._cursor = 0  # next round-robin shard
         self._closed = False
         self._poisoned = False  # a chunk failed after partial fan-out
+        self._merged_cache = None  # (epoch, folded) — see merged()
         built = [factory() for _ in range(int(shards))]
         self._validate_shards(built)
+        self._shard_class = type(built[0])
         self._k = len(built)
         # Under "process" the workers restore from checkpoint blobs,
         # so the factory (often a closure) never crosses the boundary.
@@ -278,6 +280,13 @@ class ShardedPipeline:
     @property
     def shards(self) -> int:
         return self._k
+
+    @property
+    def shard_type(self) -> type:
+        """The structure class every shard holds.  Stable across
+        reshard/restore, and free to read: no worker round-trip, unlike
+        peeking at :attr:`shard_instances` under the process backend."""
+        return self._shard_class
 
     @property
     def shard_instances(self) -> list:
@@ -379,10 +388,23 @@ class ShardedPipeline:
         to feeding the whole stream into one instance; float-state
         structures agree up to reassociation ulps (see
         :mod:`repro.engine.registry`).
+
+        The fold is memoized per epoch: repeated calls at the same
+        ``updates_ingested`` reuse one fold (under the process backend
+        that also skips the per-shard snapshot IPC) and each call
+        returns an independent clone, so mutating one result — say,
+        drawing L0 samples — never leaks into the next.  Ingestion and
+        :meth:`reshard` invalidate the memo; the retained fold costs
+        one extra structure's worth of memory.
         """
         self._require_open()
-        return _fold_tree(self._pool.structures(),
-                          clone_targets=self._pool.shares_state)
+        cached = self._merged_cache
+        if cached is None or cached[0] != self.updates_ingested:
+            folded = _fold_tree(self._pool.structures(),
+                                clone_targets=self._pool.shares_state)
+            cached = (self.updates_ingested, folded)
+            self._merged_cache = cached
+        return clone(cached[1])
 
     # -- elastic resharding --------------------------------------------------
 
@@ -432,6 +454,11 @@ class ShardedPipeline:
         self._k = new_k
         self.partition = partition
         self._cursor = 0
+        # The reshard fold was *seated* into the new pool (shard 0 is
+        # that very object under the serial backend), so it cannot
+        # double as the merged() memo — subsequent ingestion would
+        # mutate it.  Drop the memo instead.
+        self._merged_cache = None
         old_pool.close()
         return self
 
@@ -568,7 +595,9 @@ class ShardedPipeline:
             # let the flush barrier surface any blob a worker fails
             # to restore — still an error at restore time, not a hang
             # at the first ingest.
-            cls._validate_shards([restore_blob(blobs[0])])
+            head = restore_blob(blobs[0])
+            cls._validate_shards([head])
+            shard_class = type(head)
             head_class, head_params = _shard_blob_signature(blobs[0], 0)
             for i, blob in enumerate(blobs[1:], 1):
                 blob_class, blob_params = _shard_blob_signature(blob, i)
@@ -581,6 +610,7 @@ class ShardedPipeline:
         else:
             states = [restore_blob(blob) for blob in blobs]
             cls._validate_shards(states)
+            shard_class = type(states[0])
             if new_k is not None:
                 # Cross-K restore: fold the checkpointed states and
                 # seat them at the requested K, exactly as reshard()
@@ -601,6 +631,8 @@ class ShardedPipeline:
         pipeline._cursor = cursor
         pipeline._closed = False
         pipeline._poisoned = False
+        pipeline._merged_cache = None
+        pipeline._shard_class = shard_class
         pipeline._k = declared
         pipeline._pool = pool
         return pipeline

@@ -19,6 +19,7 @@ structures merge correctly but reassociation can move the last ulp.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any, Callable
 
 from ..apps.duplicates import DuplicateFinder, ShortStreamDuplicateFinder
 from ..apps.heavy_hitters import (CountMedianHeavyHitters,
@@ -27,7 +28,14 @@ from ..apps.moments import FrequencyMomentEstimator
 from ..core.l0_sampler import L0Sampler
 from ..core.lp_sampler import L1Sampler, LpSampler, LpSamplerRound
 from ..core.params import DEFAULT_CONFIG, LpSamplerConfig
+from ..recovery import (IBLTSparseRecovery, OneSparseDetector,
+                        SyndromeSparseRecovery)
+from ..sketch.ams import AMSSketch
+from ..sketch.count_min import CountMin
+from ..sketch.count_sketch import CountSketch
+from ..sketch.l0_estimator import L0Estimator
 from ..sketch.serialize import _REGISTRY as _LINEAR_REGISTRY
+from ..sketch.stable import StableSketch
 from .checkpoint import EngineSpec, register_linear_sketch, register_spec
 
 import numpy as np
@@ -210,6 +218,260 @@ def _set_count_median_sum(obj, arrays) -> None:
     obj._sum = np.int64(np.asarray(arrays[0], dtype=np.int64)[0])
 
 
+# -- query capabilities -------------------------------------------------------
+#
+# The serving layer (:mod:`repro.service`) answers a small query
+# algebra against immutable snapshots; this table says, per registered
+# type, which operations it supports and how to run them.  Dispatching
+# through the table (rather than duck-typing method names) makes
+# capability gaps *loud*: asking a structure for an operation it does
+# not support raises :class:`UnsupportedQuery` naming both sides, and
+# the flags tell the router whether an op mutates its target (it must
+# run on a clone to keep snapshots frozen) and whether its results are
+# cacheable (pure functions of ``(epoch, op, args)``).
+
+
+class UnsupportedQuery(TypeError):
+    """A registered structure does not support the requested query op.
+
+    Carries ``type_name`` and ``op`` so services can report the gap
+    precisely instead of burying it in an AttributeError.
+    """
+
+    def __init__(self, type_name: str, op: str, supported=()):
+        self.type_name = str(type_name)
+        self.op = str(op)
+        self.supported = tuple(sorted(supported))
+        hint = (f"; it supports: {', '.join(self.supported)}"
+                if self.supported else "; it supports no query ops")
+        super().__init__(
+            f"{self.type_name} does not support the query operation "
+            f"{self.op!r}{hint}")
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryCapability:
+    """One (structure type, operation) entry of the capability table.
+
+    Attributes
+    ----------
+    op:
+        The algebra operation name (``"heavy_hitters"``, ``"norm"``...).
+    run:
+        ``(structure, args: dict) -> result``.  Validates its own
+        arguments and raises ``ValueError``/``TypeError`` on bad ones.
+    doc:
+        One-line signature summary for tables and CLIs.
+    mutates:
+        True when running the op advances internal state (e.g. the L0
+        sampler's uniform-choice RNG).  The router runs such ops on a
+        clone, so the snapshot stays byte-frozen — and the op becomes a
+        pure function of the snapshot, which is what makes its results
+        cacheable at all.
+    cacheable:
+        True when ``(epoch, op, canonical args)`` determines the result
+        and the args are hashable.  ``inner`` takes another live
+        snapshot as an argument, so it is not.
+    """
+
+    op: str
+    run: Callable[[Any, dict], Any]
+    doc: str = ""
+    mutates: bool = False
+    cacheable: bool = True
+
+
+#: class name -> op name -> capability.
+_QUERY_CAPS: dict[str, dict[str, QueryCapability]] = {}
+
+
+def register_query(cls, capability: QueryCapability) -> QueryCapability:
+    """Register (or replace) one query capability for a class."""
+    _QUERY_CAPS.setdefault(cls.__name__, {})[capability.op] = capability
+    return capability
+
+
+def query_capabilities(obj_or_cls) -> dict[str, QueryCapability]:
+    """The capability table row for a type (may be empty)."""
+    cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
+    return dict(_QUERY_CAPS.get(cls.__name__, {}))
+
+
+def query_capability(obj_or_cls, op: str) -> QueryCapability:
+    """The capability for one op; raises :class:`UnsupportedQuery`."""
+    cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
+    row = _QUERY_CAPS.get(cls.__name__, {})
+    capability = row.get(op)
+    if capability is None:
+        raise UnsupportedQuery(cls.__name__, op, supported=row)
+    return capability
+
+
+def query_algebra() -> dict[str, str]:
+    """Every known op name -> its one-line doc (union over all types)."""
+    algebra: dict[str, str] = {}
+    for row in _QUERY_CAPS.values():
+        for op, capability in row.items():
+            algebra.setdefault(op, capability.doc)
+    return dict(sorted(algebra.items()))
+
+
+def _no_args(op: str, args: dict) -> None:
+    if args:
+        raise TypeError(
+            f"{op}() takes no arguments (got {sorted(args)})")
+
+
+def _only_args(op: str, args: dict, allowed: tuple) -> None:
+    extra = set(args) - set(allowed)
+    if extra:
+        raise TypeError(
+            f"{op}() got unexpected arguments {sorted(extra)} "
+            f"(accepts {sorted(allowed)})")
+
+
+def _index_arg(obj, args: dict) -> int:
+    _only_args("point", args, ("index",))
+    if "index" not in args:
+        raise TypeError("point() requires an 'index' argument")
+    index = int(args["index"])
+    if not 0 <= index < obj.universe:
+        raise ValueError(
+            f"point() index {index} outside the universe "
+            f"[0, {obj.universe})")
+    return index
+
+
+def _norm_p(obj, args: dict, expected: float) -> None:
+    _only_args("norm", args, ("p",))
+    if "p" in args and float(args["p"]) != float(expected):
+        raise ValueError(
+            f"{type(obj).__name__} estimates the p={expected:g} norm, "
+            f"not p={float(args['p']):g}; build a structure for that p")
+
+
+def _other_structure(op: str, args: dict):
+    _only_args(op, args, ("other",))
+    if "other" not in args:
+        raise TypeError(f"{op}() requires an 'other' argument "
+                        f"(a snapshot or structure sharing the map)")
+    other = args["other"]
+    # Accept either a bare structure or anything snapshot-shaped that
+    # exposes one (duck-typed so service and engine stay decoupled).
+    return getattr(other, "structure", other)
+
+
+def _count_arg(op: str, args: dict, default: int | None = 1):
+    _only_args(op, args, ("count",))
+    if "count" not in args and default is None:
+        return None
+    count = int(args.get("count", default))
+    if count < 1:
+        raise ValueError(f"{op}() count must be >= 1, not {count}")
+    return count
+
+
+def _phi_args(args: dict) -> dict:
+    _only_args("heavy_hitters", args, ("phi",))
+    return ({"phi": float(args["phi"])} if "phi" in args else {})
+
+
+def _register_queries() -> None:
+    register_query(CountSketch, QueryCapability(
+        "point", lambda obj, args: float(obj.estimate(_index_arg(obj, args))),
+        doc="point(index): the x*_index estimate (Lemma 1 error)"))
+    register_query(CountSketch, QueryCapability(
+        "top", lambda obj, args: obj.best_sparse_approximation(
+            sparsity=_count_arg("top", args, default=None)),
+        doc="top(count=m): indices/values of the best count-sparse "
+            "part"))
+    register_query(CountSketch, QueryCapability(
+        "inner", lambda obj, args: obj.inner_product(
+            _other_structure("inner", args)),
+        doc="inner(other): <x, y> estimate from a shared map",
+        cacheable=False))
+
+    register_query(CountMin, QueryCapability(
+        "point", lambda obj, args: float(
+            obj.estimate_median(_index_arg(obj, args))),
+        doc="point(index): count-median point estimate"))
+
+    register_query(AMSSketch, QueryCapability(
+        "norm", lambda obj, args: (_norm_p(obj, args, 2.0), obj.l2())[1],
+        doc="norm(p=2): tug-of-war ||x||_2 estimate"))
+    register_query(AMSSketch, QueryCapability(
+        "inner", lambda obj, args: obj.inner_product(
+            _other_structure("inner", args)),
+        doc="inner(other): <x, y> estimate from a shared map",
+        cacheable=False))
+
+    register_query(StableSketch, QueryCapability(
+        "norm", lambda obj, args: (_norm_p(obj, args, obj.p),
+                                   float(obj.norm_estimate()))[1],
+        doc="norm(p): Lemma 2 ||x||_p estimate (p fixed at build time)"))
+
+    register_query(L0Estimator, QueryCapability(
+        "norm", lambda obj, args: (_norm_p(obj, args, 0.0),
+                                   float(obj.estimate()))[1],
+        doc="norm(p=0): support-size (L0) estimate"))
+
+    for recovery_cls in (SyndromeSparseRecovery, IBLTSparseRecovery):
+        register_query(recovery_cls, QueryCapability(
+            "recover", lambda obj, args: (_no_args("recover", args),
+                                          obj.recover())[1],
+            doc="recover(): the exact vector if s-sparse, else DENSE"))
+    register_query(OneSparseDetector, QueryCapability(
+        "recover", lambda obj, args: (_no_args("recover", args),
+                                      obj.decide())[1],
+        doc="recover(): 1-sparse decision (index, value) or not"))
+
+    register_query(L0Sampler, QueryCapability(
+        "sample_l0",
+        lambda obj, args: tuple(obj.sample()
+                                for _ in range(_count_arg("sample_l0",
+                                                          args))),
+        doc="sample_l0(count=1): uniform support samples, zero "
+            "relative error",
+        mutates=True))
+    register_query(L0Sampler, QueryCapability(
+        "support", lambda obj, args: (_no_args("support", args),
+                                      obj.recover_full_support())[1],
+        doc="support(): the exact support when sparse, else None"))
+
+    for sampler_cls in (LpSamplerRound, LpSampler, L1Sampler):
+        register_query(sampler_cls, QueryCapability(
+            "sample_lp", lambda obj, args: (_no_args("sample_lp", args),
+                                            obj.sample())[1],
+            doc="sample_lp(): one Figure 1 precision sample "
+                "(deterministic recovery)"))
+
+    for hh_cls in (CountSketchHeavyHitters, CountMedianHeavyHitters):
+        register_query(hh_cls, QueryCapability(
+            "heavy_hitters",
+            lambda obj, args: obj.heavy_hitters(**_phi_args(args)),
+            doc="heavy_hitters(phi=built): the Section 4.4 valid set"))
+    register_query(CountSketchHeavyHitters, QueryCapability(
+        "norm", lambda obj, args: (_norm_p(obj, args, obj.p),
+                                   obj.norm_estimate())[1],
+        doc="norm(p): the ||x||_p estimate backing the threshold"))
+    register_query(CountMedianHeavyHitters, QueryCapability(
+        "norm", lambda obj, args: (_norm_p(obj, args, 1.0),
+                                   obj.l1_mass())[1],
+        doc="norm(p=1): exact L1 mass (strict turnstile model)"))
+
+    register_query(FrequencyMomentEstimator, QueryCapability(
+        "moment", lambda obj, args: (_no_args("moment", args),
+                                     obj.estimate())[1],
+        doc="moment(): the F_q frequency-moment estimate"))
+
+    for dup_cls in (DuplicateFinder, ShortStreamDuplicateFinder):
+        register_query(dup_cls, QueryCapability(
+            "duplicates", lambda obj, args: (_no_args("duplicates", args),
+                                             obj.duplicates())[1],
+            doc="duplicates(): a duplicate item, NO-DUPLICATE or FAIL"))
+
+
 _register_leaves()
 _register_samplers()
 _register_apps()
+_register_queries()

@@ -1,0 +1,132 @@
+"""Automatic reshard triggers: load watermarks over the ingest path.
+
+The ROADMAP's remaining elastic-K item: PR 3 made ``reshard()`` a safe
+mid-stream operation, but *deciding* to reshard was still manual.  The
+service sits on the ingest path, so it sees the signal that matters at
+this layer: **offered load** — updates arriving per wall-clock second
+(each observation spans one ingest call plus the gap since the
+previous one).  This is the service-level analogue of a queue-depth
+watermark: when producers run hot, batches arrive back to back and
+the offered rate climbs toward the pipeline's capacity; when traffic
+is light, the gaps dominate and the rate falls.
+
+Policy: every ingest call is one observation.  ``sustain`` consecutive
+observations above ``high`` (with the batch big enough to be
+meaningful) trigger a grow to ``grow_factor * K`` capped at
+``max_shards``; ``sustain`` consecutive observations below ``low``
+trigger a shrink to ``K // grow_factor`` floored at ``min_shards``.
+Anything in the hysteresis band ``[low, high]`` resets both streaks,
+so a load spike that immediately subsides never flaps the topology.
+Resharding preserves the merged state exactly (PR 3's law), so the
+trigger is safe to fire at any chunk boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WatermarkPolicy:
+    """Thresholds for the automatic reshard trigger.
+
+    Attributes
+    ----------
+    high:
+        Offered load (updates arriving per wall-clock second) above
+        which the pipeline should grow.
+    low:
+        Load below which it is over-provisioned and should shrink;
+        must sit strictly below ``high`` (the gap is the hysteresis
+        band).
+    sustain:
+        Consecutive observations beyond a watermark before acting —
+        one noisy batch never reshards.
+    grow_factor:
+        Multiplier for growth, divisor for shrink.
+    max_shards / min_shards:
+        Hard topology bounds.
+    min_batch:
+        Observations from batches smaller than this are ignored (their
+        rate estimate is mostly fixed overhead).
+    """
+
+    high: float
+    low: float
+    sustain: int = 3
+    grow_factor: int = 2
+    max_shards: int = 8
+    min_shards: int = 1
+    min_batch: int = 256
+
+    def __post_init__(self):
+        if not self.high > self.low >= 0.0:
+            raise ValueError(
+                f"watermarks must satisfy high > low >= 0 "
+                f"(got high={self.high}, low={self.low})")
+        if self.sustain < 1:
+            raise ValueError(f"sustain must be >= 1, not {self.sustain}")
+        if self.grow_factor < 2:
+            raise ValueError(
+                f"grow_factor must be >= 2, not {self.grow_factor}")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards "
+                f"(got {self.min_shards}..{self.max_shards})")
+        if self.min_batch < 1:
+            raise ValueError(
+                f"min_batch must be >= 1, not {self.min_batch}")
+
+
+class LoadMonitor:
+    """Streak accounting for a :class:`WatermarkPolicy`.
+
+    Feed it one :meth:`observe` per ingest call; it answers with the
+    target shard count when a watermark has been sustained, else None.
+    Pure bookkeeping — no clocks, no pipeline reference — so tests can
+    drive it with synthetic observations.
+    """
+
+    def __init__(self, policy: WatermarkPolicy):
+        self.policy = policy
+        self.above = 0             # consecutive observations above high
+        self.below = 0             # consecutive observations below low
+        self.observations = 0
+
+    def observe(self, updates: int, seconds: float,
+                current_shards: int) -> int | None:
+        """Record one ingest call; maybe return a new target K.
+
+        ``seconds`` is the wall-clock span the batch represents — the
+        ingest call itself plus the idle gap since the previous one —
+        so ``updates / seconds`` is the offered load, not the
+        pipeline's in-call throughput.
+
+        A returned target resets both streaks (the caller is expected
+        to reshard, after which old observations describe a topology
+        that no longer exists).
+        """
+        if updates < self.policy.min_batch or seconds <= 0.0:
+            return None
+        self.observations += 1
+        rate = updates / seconds
+        if rate > self.policy.high:
+            self.above += 1
+            self.below = 0
+        elif rate < self.policy.low:
+            self.below += 1
+            self.above = 0
+        else:
+            self.above = self.below = 0
+            return None
+        if self.above >= self.policy.sustain:
+            target = min(current_shards * self.policy.grow_factor,
+                         self.policy.max_shards)
+            self.above = self.below = 0
+            return target if target > current_shards else None
+        if self.below >= self.policy.sustain:
+            target = max(current_shards // self.policy.grow_factor,
+                         self.policy.min_shards)
+            self.below = self.above = 0
+            return target if target < current_shards else None
+        return None

@@ -1,0 +1,85 @@
+"""Dispatching the query algebra against snapshots.
+
+:class:`QueryRouter` is deliberately thin: the per-type capability
+table lives in :mod:`repro.engine.registry` (next to the
+checkpoint/merge registry it mirrors), and the router adds the three
+serving concerns on top of raw dispatch:
+
+1. **Loud capability gaps** — an op the snapshot's type does not
+   support raises :class:`~repro.engine.registry.UnsupportedQuery`
+   naming the type, the op and what *is* supported;
+2. **Snapshot frozenness** — ops flagged ``mutates`` (the L0 sampler's
+   draw advances its choice RNG) run on a clone, so the snapshot's
+   bytes never change and a draw sequence at epoch E is reproducible;
+3. **Caching** — cacheable results are looked up/stored in an
+   epoch-keyed :class:`~repro.service.cache.ResultCache`, with the
+   hit/miss/latency accounting recorded into a
+   :class:`~repro.service.cache.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+from ..engine.registry import (UnsupportedQuery, query_capabilities,
+                               query_capability)
+from .cache import ResultCache, ServiceStats, timer as default_timer
+
+
+class QueryRouter:
+    """Route named queries to a snapshot's structure.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`ResultCache` (pass capacity 0 to disable), or None
+        for a fresh default-sized one.
+    stats:
+        The :class:`ServiceStats` to record into (fresh if None).
+    timer:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(self, cache: ResultCache | None = None,
+                 stats: ServiceStats | None = None, timer=default_timer):
+        self.cache = ResultCache() if cache is None else cache
+        self.stats = ServiceStats() if stats is None else stats
+        self._timer = timer
+
+    def operations(self, snapshot) -> dict[str, str]:
+        """op name -> one-line doc for this snapshot's type."""
+        return {op: capability.doc for op, capability
+                in sorted(query_capabilities(snapshot.structure).items())}
+
+    def query(self, snapshot, op: str, **args):
+        """Answer ``op(**args)`` from the snapshot's frozen state.
+
+        Raises :class:`UnsupportedQuery` when the type lacks the op,
+        and whatever the capability's own validation raises on bad
+        arguments.  Cache hits return the stored object (shared —
+        treat results as read-only).
+        """
+        capability = query_capability(snapshot.structure, op)
+        key = None
+        if capability.cacheable:
+            key = self.cache.key(snapshot.cache_token, snapshot.epoch,
+                                 op, args)
+            start = self._timer()
+            hit, value = self.cache.get(key)
+            if hit:
+                self.stats.record_query(op, self._timer() - start,
+                                        cached=True)
+                return value
+        target = (snapshot.clone_structure() if capability.mutates
+                  else snapshot.structure)
+        start = self._timer()
+        result = capability.run(target, dict(args))
+        elapsed = self._timer() - start
+        self.stats.record_query(op, elapsed, cached=False,
+                                cacheable=capability.cacheable)
+        if key is not None:
+            evictions_before = self.cache.evictions
+            self.cache.put(key, result)
+            self.stats.evictions += self.cache.evictions - evictions_before
+        return result
+
+
+__all__ = ["QueryRouter", "UnsupportedQuery"]

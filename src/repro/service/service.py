@@ -1,0 +1,163 @@
+"""The query service: ingest-while-query serving over one pipeline.
+
+:class:`QueryService` is the facade the apps/CLI/benchmarks use.  It
+owns a running :class:`~repro.engine.pipeline.ShardedPipeline` plus
+
+* a :class:`~repro.service.snapshot.SnapshotManager` (epoch-versioned
+  frozen views, refresh policy, retention),
+* a :class:`~repro.service.router.QueryRouter` over the engine's
+  capability table (loud :class:`UnsupportedQuery` gaps, clone-before-
+  mutate, the epoch-keyed LRU result cache),
+* a :class:`~repro.service.autoscale.LoadMonitor` implementing the
+  automatic reshard trigger (offered-load watermarks).
+
+The division of labour with the engine: the engine guarantees that
+folding shard states reproduces the single-stream state; the service
+guarantees *when* that fold is taken (epochs), *what* may be asked of
+it (capabilities), and *how often* it is recomputed (snapshot refresh
++ result cache).
+"""
+
+from __future__ import annotations
+
+from ..engine.pipeline import ShardedPipeline
+from ..engine.registry import query_capabilities
+from .autoscale import LoadMonitor, WatermarkPolicy
+from .cache import ResultCache, ServiceStats, timer as default_timer
+from .router import QueryRouter
+from .snapshot import Snapshot, SnapshotManager
+
+
+class QueryService:
+    """Serve named queries from epoch-versioned snapshots of a stream.
+
+    Parameters
+    ----------
+    pipeline:
+        The live pipeline to serve.  The service *owns* it: ``close()``
+        closes it (build it yourself and use the service as a context
+        manager, or hand over a restored one).
+    refresh_every:
+        Auto-capture a fresh snapshot once this many updates have been
+        ingested past the newest epoch; None = explicit
+        :meth:`refresh` only.
+    keep:
+        How many epochs stay queryable (time-travel window).
+    cache_size:
+        LRU capacity for query results; 0 disables caching.
+    policy:
+        A :class:`WatermarkPolicy` enabling the automatic reshard
+        trigger, or None to leave the topology alone.
+    timer:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(self, pipeline: ShardedPipeline, *,
+                 refresh_every: int | None = None, keep: int = 4,
+                 cache_size: int = 128,
+                 policy: WatermarkPolicy | None = None,
+                 timer=default_timer):
+        self.pipeline = pipeline
+        self.stats = ServiceStats()
+        self.snapshots = SnapshotManager(pipeline,
+                                         refresh_every=refresh_every,
+                                         keep=keep)
+        self.router = QueryRouter(cache=ResultCache(cache_size),
+                                  stats=self.stats, timer=timer)
+        self.monitor = LoadMonitor(policy) if policy is not None else None
+        self._timer = timer
+        self._last_ingest_start: float | None = None
+        #: The structure class every query dispatches against.
+        self.served_type = pipeline.shard_type
+
+    @classmethod
+    def from_checkpoint(cls, blob: bytes, backend: str = "serial",
+                        shards: int | None = None,
+                        **kwargs) -> "QueryService":
+        """Boot a service straight from a pipeline checkpoint — a
+        restored stream (or a remote site's blob) is queryable without
+        its original factory or process."""
+        return cls(ShardedPipeline.restore(blob, backend=backend,
+                                           shards=shards), **kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.pipeline.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- the write path ------------------------------------------------------
+
+    def ingest(self, indices, deltas) -> int:
+        """Feed a batch through the pipeline, recording load metrics.
+
+        One call is one autoscale observation: the offered load is the
+        batch size over the wall-clock span since the previous call
+        started (capturing both the ingest cost and the producer gap).
+        When the watermark policy demands it, the pipeline reshards
+        in-line — the merged state is preserved exactly, so queries
+        before and after the topology change agree.
+        """
+        start = self._timer()
+        count = self.pipeline.ingest(indices, deltas)
+        end = self._timer()
+        # Offered load uses the start-to-start period (in steady state
+        # exactly one batch arrives per period); the first call has no
+        # period yet, so its own duration stands in.
+        span = (end - start if self._last_ingest_start is None
+                else start - self._last_ingest_start)
+        self._last_ingest_start = start
+        self.stats.record_ingest(count, end - start)
+        if self.monitor is not None:
+            target = self.monitor.observe(count, span,
+                                          self.pipeline.shards)
+            if target is not None:
+                self.pipeline.reshard(target)
+                self.stats.reshards += 1
+        return count
+
+    # -- the read path -------------------------------------------------------
+
+    def refresh(self) -> Snapshot:
+        """Force a snapshot at the current epoch (no-op if unchanged)."""
+        captures_before = self.snapshots.captures
+        snapshot = self.snapshots.refresh()
+        self.stats.snapshots_captured += (self.snapshots.captures
+                                          - captures_before)
+        return snapshot
+
+    def current(self) -> Snapshot:
+        """The serving snapshot (auto-refreshing per policy)."""
+        captures_before = self.snapshots.captures
+        snapshot = self.snapshots.current()
+        self.stats.snapshots_captured += (self.snapshots.captures
+                                          - captures_before)
+        return snapshot
+
+    def query(self, op: str, *, at: int | None = None, **args):
+        """Answer ``op(**args)`` from a frozen snapshot.
+
+        ``at`` queries a retained older epoch (KeyError if it aged
+        out); the default is the current serving snapshot, which may
+        capture a fresh one per the refresh policy.  Unsupported ops
+        raise :class:`~repro.engine.registry.UnsupportedQuery`.
+        """
+        snapshot = (self.snapshots.snapshot_at(at) if at is not None
+                    else self.current())
+        return self.router.query(snapshot, op, **args)
+
+    def operations(self) -> dict[str, str]:
+        """op name -> doc for the served structure type."""
+        return {op: capability.doc for op, capability in sorted(
+            query_capabilities(self.served_type).items())}
+
+    @property
+    def epochs(self) -> list[int]:
+        """Queryable epochs, oldest first."""
+        return self.snapshots.epochs

@@ -75,6 +75,22 @@ class AMSSketch(LinearSketch):
     def l2(self) -> float:
         return float(np.sqrt(max(0.0, self.l2_squared())))
 
+    def inner_product(self, other: "AMSSketch") -> float:
+        """Estimate ``<x, y>`` from two sketches sharing one linear map.
+
+        The classical AMS identity: with shared signs,
+        ``E[y_j z_j] = <x, y>``, so a median of group means over the
+        counter products concentrates like :meth:`l2_squared` does.
+        """
+        if not self._compatible(other):
+            raise ValueError(
+                "cannot take the inner product of AMS sketches with "
+                "different maps (universe, groups, per_group and seed "
+                "must all match)")
+        products = self.counters * other.counters
+        means = products.reshape(self.groups, self.per_group).mean(axis=1)
+        return float(np.median(means))
+
     def upper_l2(self, inflation: float = np.sqrt(2.0)) -> float:
         """An estimate biased upward so ``||x||_2 <= s <= 2||x||_2`` whp.
 

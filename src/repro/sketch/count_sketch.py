@@ -142,6 +142,23 @@ class CountSketch(LinearSketch):
         i = int(np.argmax(np.abs(estimates)))
         return i, float(estimates[i])
 
+    def inner_product(self, other: "CountSketch") -> float:
+        """Estimate ``<x, y>`` from two sketches sharing one linear map.
+
+        Per row ``j`` the bucket dot product ``sum_k y[j,k] z[j,k]``
+        is an unbiased estimator of ``<x, y>`` (the sign hashes cancel
+        cross terms in expectation); the median over the O(log n)
+        independent rows concentrates it.  Requires an identically
+        seeded sketch — different maps would correlate nothing.
+        """
+        if not self._compatible(other):
+            raise ValueError(
+                "cannot take the inner product of count-sketches with "
+                "different maps (universe, m, rows, seed and "
+                "independence must all match)")
+        per_row = (self.table * other.table).sum(axis=1)
+        return float(np.median(per_row))
+
     # -- space ------------------------------------------------------------------------
 
     def space_report(self) -> SpaceReport:

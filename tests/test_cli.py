@@ -1,5 +1,6 @@
 """Tests for the command-line interface (repro/cli.py)."""
 
+import re
 import subprocess
 import sys
 
@@ -84,6 +85,133 @@ class TestInProcess:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_serve_default_round(self, capsys):
+        assert main(["serve", "--structure", "hh", "-n", "512",
+                     "--updates", "4000", "--batches", "4",
+                     "--shards", "2", "--chunk", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "serving hh x 2 shards" in out
+        assert "heavy_hitters @ epoch 4000" in out
+        assert "cache:" in out
+
+    def test_serve_explicit_queries_and_cache_hits(self, capsys):
+        assert main(["serve", "--structure", "count-sketch", "-n", "256",
+                     "--updates", "2000", "--batches", "4",
+                     "--chunk", "128", "--refresh-every", "1000",
+                     "--queries", "point:7,point:9,top:3"]) == 0
+        out = capsys.readouterr().out
+        # Repeated ops with different args stay distinct in the report.
+        assert "point:7 @ epoch 2000" in out
+        assert "point:9 @ epoch 2000" in out
+        assert "top:3 @ epoch 2000" in out
+        # Two query rounds per held epoch -> the second is a pure hit.
+        assert int(re.search(r"cache: (\d+) hits", out).group(1)) > 0
+
+    def test_serve_unknown_query_rejected(self, capsys):
+        assert main(["serve", "--structure", "hh", "-n", "256",
+                     "--updates", "500",
+                     "--queries", "frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown query 'frobnicate'" in err
+        assert "heavy_hitters" in err           # names the algebra
+
+    def test_serve_unsupported_query_names_the_type(self, capsys):
+        assert main(["serve", "--structure", "l0", "-n", "256",
+                     "--updates", "500",
+                     "--queries", "heavy_hitters"]) == 2
+        err = capsys.readouterr().err
+        assert "L0Sampler does not support 'heavy_hitters'" in err
+        assert "sample_l0" in err               # ... and what it does
+
+    def test_serve_malformed_query_args_rejected(self, capsys):
+        assert main(["serve", "--structure", "hh", "-n", "256",
+                     "--updates", "500",
+                     "--queries", "heavy_hitters:lots"]) == 2
+        assert "bad argument 'lots'" in capsys.readouterr().err
+        assert main(["serve", "--structure", "l0", "-n", "256",
+                     "--updates", "500",
+                     "--queries", "support:3"]) == 2
+        assert "takes no argument" in capsys.readouterr().err
+        assert main(["serve", "--structure", "hh", "-n", "256",
+                     "--updates", "500", "--queries", "inner"]) == 2
+        assert "second snapshot operand" in capsys.readouterr().err
+
+    def test_serve_topology_flags_validated(self, capsys):
+        # These used to escape the validation block as raw tracebacks
+        # from deep inside pipeline/workload construction.
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--chunk", "0"]) == 2
+        assert "--chunk must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "-n", "2", "--updates", "500"]) == 2
+        assert "--universe must be >= 8" in capsys.readouterr().err
+
+    def test_serve_negative_refresh_and_cache_rejected(self, capsys):
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--refresh-every", "-5"]) == 2
+        assert "--refresh-every must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--refresh-every", "0"]) == 2
+        assert "--refresh-every must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--cache-size", "-1"]) == 2
+        assert "--cache-size must be >= 0" in capsys.readouterr().err
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--keep", "0"]) == 2
+        assert "--keep must be >= 1" in capsys.readouterr().err
+
+    def test_serve_watermark_thresholds_validated(self, capsys):
+        # One watermark without the other would silently disable the
+        # autoscaler the user asked for.
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--watermark-high", "100"]) == 2
+        assert "must be given together" in capsys.readouterr().err
+        # Inverted thresholds would flap between grow and shrink.
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--watermark-high", "10",
+                     "--watermark-low", "100"]) == 2
+        assert "high > low" in capsys.readouterr().err
+        assert main(["serve", "-n", "256", "--updates", "500",
+                     "--watermark-high", "100", "--watermark-low", "10",
+                     "--watermark-sustain", "0"]) == 2
+        assert "sustain" in capsys.readouterr().err
+
+    def test_serve_autoscales_under_load(self, capsys):
+        # Real wall-clock offered load is far above 10 updates/s, so
+        # the watermark trigger must grow the topology to the cap.
+        assert main(["serve", "--structure", "hh", "-n", "256",
+                     "--updates", "4000", "--batches", "8",
+                     "--shards", "2", "--chunk", "128",
+                     "--watermark-high", "10", "--watermark-low", "1",
+                     "--watermark-sustain", "2",
+                     "--max-shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "final K=4" in out
+
+    def test_serve_autoscales_even_with_tiny_batches(self, capsys):
+        # Batches below the policy's default min_batch (256) must not
+        # silently disable the autoscaler the user configured: the CLI
+        # pins min_batch to its actual batch size.
+        assert main(["serve", "--structure", "hh", "-n", "256",
+                     "--updates", "2000", "--batches", "20",
+                     "--shards", "2", "--chunk", "64",
+                     "--watermark-high", "10", "--watermark-low", "1",
+                     "--watermark-sustain", "2",
+                     "--max-shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "final K=4" in out
+
+    def test_serve_process_backend(self, capsys):
+        assert main(["serve", "--structure", "count-sketch", "-n", "256",
+                     "--updates", "2000", "--batches", "2",
+                     "--shards", "2", "--chunk", "256",
+                     "--backend", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=process" in out
+        assert "@ epoch 2000" in out
 
 
 class TestAsModule:

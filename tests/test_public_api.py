@@ -9,7 +9,8 @@ import repro
 
 SUBPACKAGES = ["repro.core", "repro.apps", "repro.comm", "repro.sketch",
                "repro.recovery", "repro.hashing", "repro.streams",
-               "repro.space", "repro.baselines", "repro.engine"]
+               "repro.space", "repro.baselines", "repro.engine",
+               "repro.service"]
 
 
 class TestImports:

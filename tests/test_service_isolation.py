@@ -1,0 +1,164 @@
+"""Snapshot-isolation property suite (ISSUE 4 acceptance).
+
+The law the serving layer sells: **a query answered at epoch E equals
+the same query answered by an offline pipeline stopped at E**, no
+matter how much ingestion happens after the snapshot was taken — and
+the snapshot itself never moves while the stream runs on.
+
+For every shardable registered type, on both execution backends:
+
+1. ingest a prefix to epoch E and capture a snapshot;
+2. keep ingesting (under the process backend the suffix is submitted
+   but deliberately *not flushed*, so shard workers are genuinely
+   chewing on it while the queries run);
+3. answer the type's canonical queries from the snapshot and from an
+   offline pipeline (same factory/seed) stopped at E;
+4. the snapshot state must equal the offline merged state
+   (byte-identical for integer/modular-state types, allclose for the
+   documented float-state ones), the answers must agree, and the
+   snapshot bytes must be unchanged by both the background ingestion
+   and the queries themselves.
+
+The process-backend subset lives in its own class so CI's worker lane
+(hard ``timeout``) can address it directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SampleResult
+from repro.engine import ShardedPipeline, state_arrays
+from repro.service import QueryRouter, ResultCache, Snapshot
+
+from _engine_cases import (SHARDABLE, SHARDABLE_IDS, EngineCase,
+                           random_turnstile, states_equal)
+
+#: Canonical queries per structure type: enough to exercise every op
+#: family the type supports (fixed args so answers are comparable).
+CANONICAL_QUERIES = {
+    "CountSketch": [("point", {"index": 3}), ("top", {"count": 3})],
+    "CountMin": [("point", {"index": 3})],
+    "AMSSketch": [("norm", {})],
+    "StableSketch": [("norm", {})],
+    "L0Estimator": [("norm", {"p": 0})],
+    "SyndromeSparseRecovery": [("recover", {})],
+    "IBLTSparseRecovery": [("recover", {})],
+    "OneSparseDetector": [("recover", {})],
+    "L0Sampler": [("sample_l0", {"count": 2}), ("support", {})],
+    "LpSamplerRound": [("sample_lp", {})],
+    "LpSampler": [("sample_lp", {})],
+    "L1Sampler": [("sample_lp", {})],
+    "CountSketchHeavyHitters": [("heavy_hitters", {}), ("norm", {})],
+    "CountMedianHeavyHitters": [("heavy_hitters", {}),
+                                ("norm", {"p": 1})],
+    "FrequencyMomentEstimator": [("moment", {})],
+}
+
+
+def test_canonical_queries_cover_every_shardable_type():
+    assert {case.name for case in SHARDABLE} <= set(CANONICAL_QUERIES)
+
+
+def _answers_equal(mine, theirs, exact: bool) -> bool:
+    """Structural equality over the algebra's result shapes."""
+    if type(mine) is not type(theirs):
+        return False
+    if isinstance(mine, SampleResult):
+        return (mine.failed == theirs.failed
+                and mine.index == theirs.index
+                and _answers_equal(mine.estimate, theirs.estimate, exact))
+    if isinstance(mine, (tuple, list)):
+        return (len(mine) == len(theirs)
+                and all(_answers_equal(a, b, exact)
+                        for a, b in zip(mine, theirs)))
+    if isinstance(mine, np.ndarray):
+        if exact:
+            return bool(np.array_equal(mine, theirs))
+        return bool(np.allclose(mine, theirs, rtol=1e-9, atol=1e-9))
+    if isinstance(mine, float):
+        if mine != mine and theirs != theirs:   # NaN == NaN here
+            return True
+        return (mine == theirs if exact
+                else bool(np.isclose(mine, theirs, rtol=1e-9,
+                                     atol=1e-9)))
+    if mine is None or isinstance(mine, (int, str, bool)):
+        return mine == theirs
+    # Recovery results and other small result objects: compare their
+    # public array/scalar attributes.
+    mine_attrs = {k: v for k, v in vars(mine).items()
+                  if not k.startswith("_")}
+    theirs_attrs = {k: v for k, v in vars(theirs).items()
+                    if not k.startswith("_")}
+    return (set(mine_attrs) == set(theirs_attrs)
+            and all(_answers_equal(v, theirs_attrs[k], exact)
+                    for k, v in mine_attrs.items()))
+
+
+def _isolation_trial(case: EngineCase, backend: str, seed: int,
+                     universe: int = 96, shards: int = 3,
+                     chunk: int = 32, length: int = 640):
+    indices, deltas = random_turnstile(universe, length, seed)
+    half = length // 2
+    router = QueryRouter(cache=ResultCache(0))
+
+    with ShardedPipeline(lambda: case.factory(universe, seed + 11),
+                         shards=shards, chunk_size=chunk,
+                         backend=backend) as live:
+        live.ingest(indices[:half], deltas[:half])
+        snapshot = Snapshot.capture(live)
+        assert snapshot.epoch == half
+        frozen = [np.array(a, copy=True)
+                  for a in state_arrays(snapshot.structure)]
+
+        # Ingestion continues while we query: under the process
+        # backend these chunks are in flight on the workers right now
+        # (no flush until the very end).
+        live.ingest(indices[half:], deltas[half:])
+
+        with ShardedPipeline(lambda: case.factory(universe, seed + 11),
+                             shards=shards, chunk_size=chunk,
+                             backend=backend) as offline:
+            offline.ingest(indices[:half], deltas[:half])
+            offline.flush()
+            stopped = offline.merged()
+
+            # The snapshot state IS the offline state at E.
+            assert states_equal(snapshot.structure, stopped, case.exact)
+
+            offline_snap = Snapshot(stopped, epoch=half)
+            for op, args in CANONICAL_QUERIES[case.name]:
+                mine = router.query(snapshot, op, **args)
+                theirs = router.query(offline_snap, op, **args)
+                assert _answers_equal(mine, theirs, case.exact), \
+                    (case.name, op, mine, theirs)
+
+        # Neither the background ingestion nor the queries moved the
+        # snapshot's bytes.
+        assert all(np.array_equal(a, b) for a, b in
+                   zip(frozen, state_arrays(snapshot.structure)))
+
+        # Sanity: the live pipeline really did advance past E.
+        live.flush()
+        assert live.updates_ingested == length
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("case", SHARDABLE, ids=SHARDABLE_IDS)
+class TestSerialBackend:
+    def test_query_at_epoch_matches_offline_stop(self, case, seed):
+        _isolation_trial(case, "serial", seed)
+
+
+#: The process subset trades sweep width for worker-process cost: a
+#: representative type per family (vectorised leaf, modular-state
+#: leaf, deep integer composite, float composite).
+_PROCESS_CASES = [case for case in SHARDABLE
+                  if case.name in ("CountSketch", "L0Estimator",
+                                   "L0Sampler", "L1Sampler")]
+
+
+@pytest.mark.parametrize("case", _PROCESS_CASES,
+                         ids=[c.name for c in _PROCESS_CASES])
+class TestProcessBackend:
+    def test_query_at_epoch_matches_offline_stop(self, case):
+        _isolation_trial(case, "process", seed=2)
