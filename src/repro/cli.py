@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="serial",
                         help="where shard updates execute: this process "
                              "or one worker process per shard")
+    engine.add_argument("--transport", choices=["pickle", "shm"],
+                        default=None,
+                        help="process-backend chunk transport: pickle "
+                             "chunks through worker queues (default) or "
+                             "ship them zero-copy via shared-memory "
+                             "slot rings")
     engine.add_argument("--reshard-at", type=int, default=None,
                         metavar="UPDATE",
                         help="reshard the live pipeline after this many "
@@ -101,6 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chunk", type=int, default=4096)
     serve.add_argument("--backend", choices=["serial", "process"],
                        default="serial")
+    serve.add_argument("--transport", choices=["pickle", "shm"],
+                       default=None,
+                       help="process-backend chunk transport (pickle "
+                            "or zero-copy shm slot rings)")
     serve.add_argument("--queries", default=None, metavar="SPEC",
                        help="comma-separated ops, each 'op' or "
                             "'op:arg' (e.g. "
@@ -253,6 +263,10 @@ def _cmd_engine(args) -> int:
     if args.reshard_to is not None and args.reshard_to < 1:
         print("error: --reshard-to must be at least 1", file=sys.stderr)
         return 2
+    if args.transport is not None and args.backend != "process":
+        print("error: --transport requires --backend process",
+              file=sys.stderr)
+        return 2
 
     n = args.universe
     rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0xE17)))
@@ -280,10 +294,13 @@ def _cmd_engine(args) -> int:
                                shards=args.shards,
                                partition=args.partition,
                                chunk_size=args.chunk,
-                               backend=args.backend)
+                               backend=args.backend,
+                               transport=args.transport)
+    transport_note = (f", transport={pipeline.transport}"
+                      if pipeline.transport is not None else "")
     print(f"engine: {args.structure} x {args.shards} shards "
           f"({args.partition}, chunk={args.chunk}, "
-          f"backend={args.backend}) over n={n}")
+          f"backend={args.backend}{transport_note}) over n={n}")
 
     if args.reshard_at is not None:
         # elastic K: grow (or shrink) the live pipeline mid-stream and
@@ -313,7 +330,8 @@ def _cmd_engine(args) -> int:
         pipeline.ingest(indices[:half], deltas[:half])
         blob = pipeline.checkpoint()
         pipeline.close()
-        pipeline = ShardedPipeline.restore(blob, backend=args.backend)
+        pipeline = ShardedPipeline.restore(blob, backend=args.backend,
+                                           transport=args.transport)
         pipeline.ingest(indices[half:], deltas[half:])
         pipeline.flush()           # count applied updates, not queued ones
         elapsed = time.perf_counter() - start
@@ -483,6 +501,8 @@ def _cmd_serve(args) -> int:
         if args.cache_size < 0:
             raise ValueError(
                 f"--cache-size must be >= 0, not {args.cache_size}")
+        if args.transport is not None and args.backend != "process":
+            raise ValueError("--transport requires --backend process")
         policy = _serve_policy(args, max(1, args.updates // args.batches))
         spec = (args.queries if args.queries is not None
                 else _SERVE_DEFAULT_QUERIES[args.structure])
@@ -508,7 +528,8 @@ def _cmd_serve(args) -> int:
     pipeline = ShardedPipeline(factories[args.structure],
                                shards=args.shards,
                                chunk_size=args.chunk,
-                               backend=args.backend)
+                               backend=args.backend,
+                               transport=args.transport)
     print(f"serving {args.structure} x {args.shards} shards "
           f"(backend={args.backend}, refresh every {refresh} updates, "
           f"keep {args.keep} epochs, cache {args.cache_size}) over "

@@ -32,8 +32,9 @@ from .checkpoint import (FORMAT_VERSION, EngineSpec, IncompatibleShards,
                          registered_types, register_linear_sketch,
                          register_spec, restore, state_arrays)
 from .pipeline import ShardedPipeline
-from .workers import (BACKENDS, ProcessPool, SerialPool, WorkerCrashed,
-                      WorkerPool, build_pool)
+from .shm import SlotRing
+from .workers import (BACKENDS, TRANSPORTS, ProcessPool, SerialPool,
+                      WorkerCrashed, WorkerPool, build_pool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
 from .registry import (QueryCapability, UnsupportedQuery, query_algebra,
@@ -42,8 +43,9 @@ from .registry import (QueryCapability, UnsupportedQuery, query_algebra,
 
 __all__ = [
     "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
-    "ProcessPool", "QueryCapability", "SerialPool", "StaleCheckpoint",
-    "UnsupportedQuery", "WorkerCrashed", "WorkerPool", "build_pool",
+    "ProcessPool", "QueryCapability", "SerialPool", "SlotRing",
+    "StaleCheckpoint", "TRANSPORTS", "UnsupportedQuery", "WorkerCrashed",
+    "WorkerPool", "build_pool",
     "checkpoint", "clone", "fresh_twin", "is_exact", "is_registered",
     "is_shardable", "map_mismatches", "merge_into", "params_of",
     "query_algebra", "query_capabilities", "query_capability",

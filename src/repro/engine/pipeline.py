@@ -61,7 +61,7 @@ from .checkpoint import (FORMAT_VERSION, IncompatibleShards, StaleCheckpoint,
                          checkpoint as snapshot, clone, fresh_twin,
                          map_mismatches, merge_into,
                          restore as restore_blob, spec_for)
-from .workers import BACKENDS, ProcessPool, build_pool
+from .workers import BACKENDS, TRANSPORTS, ProcessPool, build_pool
 
 _PIPELINE_MAGIC = b"RPROPL"
 
@@ -154,6 +154,30 @@ def _seat_states(folded, shards: int) -> list:
     return [folded] + [fresh_twin(folded) for _ in range(shards - 1)]
 
 
+def _validated_transport(backend: str, transport: str | None):
+    """The effective transport for a backend; loud on misuse.
+
+    ``None`` in means "the backend's default" (pickle for process).
+    Naming a transport on the serial backend is an error rather than a
+    silent no-op — a caller who asked for shm and got in-process
+    execution should hear about it — and a serial pipeline's effective
+    transport is ``None`` out: it has no chunk transport, and claiming
+    ``"pickle"`` would misreport the surface.
+    """
+    if backend != "process":
+        if transport is not None:
+            raise ValueError(
+                f"transport={transport!r} requires backend='process' "
+                f"(the serial backend has no chunk transport)")
+        return None
+    if transport is None:
+        return "pickle"
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, not {transport!r}")
+    return transport
+
+
 def _proven(pool):
     """The pool, once a flush barrier proves every worker healthy —
     a worker that fails to restore its blob surfaces here, and the
@@ -190,10 +214,22 @@ class ShardedPipeline:
     backend:
         ``"serial"`` (in-process, default) or ``"process"`` (one
         worker process per shard).
+    transport:
+        How the process backend ships routed chunks to its workers:
+        ``"pickle"`` (default) serialises them through the worker
+        queues, ``"shm"`` writes them into per-worker shared-memory
+        slot rings and queues only slot descriptors — zero pickling,
+        one memcpy (see :mod:`repro.engine.shm`).  Slot capacity is
+        this pipeline's ``chunk_size``, so every routed chunk fits.
+        Like the backend, the transport is an execution choice, not
+        part of the checkpoint wire format.  Rejected for the serial
+        backend (it has no transport to select; a serial pipeline's
+        ``transport`` attribute reads ``None``).
     """
 
     def __init__(self, factory, shards: int = 4, partition: str = "hash",
-                 chunk_size: int = 4096, backend: str = "serial"):
+                 chunk_size: int = 4096, backend: str = "serial",
+                 transport: str | None = None):
         if shards < 1:
             raise ValueError("need at least one shard")
         if partition not in _PARTITIONS:
@@ -206,6 +242,7 @@ class ShardedPipeline:
         self.partition = partition
         self.chunk_size = int(chunk_size)
         self.backend = backend
+        self.transport = _validated_transport(backend, transport)
         self.updates_ingested = 0
         self._cursor = 0  # next round-robin shard
         self._closed = False
@@ -217,7 +254,8 @@ class ShardedPipeline:
         self._k = len(built)
         # Under "process" the workers restore from checkpoint blobs,
         # so the factory (often a closure) never crosses the boundary.
-        self._pool = build_pool(backend, built)
+        self._pool = build_pool(backend, built, transport=self.transport,
+                                slot_updates=self.chunk_size)
 
     @staticmethod
     def _validate_shards(built: list) -> None:
@@ -449,7 +487,9 @@ class ShardedPipeline:
         folded = _fold_tree(self._pool.structures(),
                             clone_targets=self._pool.shares_state)
         new_pool = _proven(build_pool(self.backend,
-                                      _seat_states(folded, new_k)))
+                                      _seat_states(folded, new_k),
+                                      transport=self.transport,
+                                      slot_updates=self.chunk_size))
         old_pool, self._pool = self._pool, new_pool
         self._k = new_k
         self.partition = partition
@@ -495,7 +535,8 @@ class ShardedPipeline:
 
     @classmethod
     def restore(cls, data: bytes, backend: str = "serial",
-                shards: int | None = None) -> "ShardedPipeline":
+                shards: int | None = None,
+                transport: str | None = None) -> "ShardedPipeline":
         """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting.
 
         The header is fully validated (unknown partition, nonsense
@@ -504,8 +545,10 @@ class ShardedPipeline:
         framed payload all raise ``ValueError``) and the payload must
         end exactly at the last shard blob — trailing garbage is
         rejected rather than silently ignored.  ``backend`` chooses
-        where the restored shards execute; it is an execution choice,
-        not part of the wire format.
+        where the restored shards execute and ``transport`` how the
+        process backend ships chunks to them; both are execution
+        choices, not part of the wire format — a blob written under
+        one combination restores under any other.
 
         ``shards`` optionally restores onto a *different* shard count
         than the checkpoint was taken at: the checkpointed states are
@@ -581,6 +624,7 @@ class ShardedPipeline:
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, not {backend!r}")
+        transport = _validated_transport(backend, transport)
         if shards is not None and int(shards) != declared:
             new_k = int(shards)
             if new_k < 1:
@@ -606,7 +650,8 @@ class ShardedPipeline:
                         f"shard blob {i} ({blob_class}, {blob_params}) "
                         f"does not share shard 0's map "
                         f"({head_class}, {head_params})")
-            pool = _proven(ProcessPool(blobs))
+            pool = _proven(ProcessPool(blobs, transport=transport,
+                                       slot_updates=chunk_size))
         else:
             states = [restore_blob(blob) for blob in blobs]
             cls._validate_shards(states)
@@ -622,11 +667,14 @@ class ShardedPipeline:
                     _fold_tree(states, clone_targets=False), new_k)
                 declared = new_k
                 cursor = 0     # the old rotation is meaningless at new K
-            pool = _proven(build_pool(backend, states))
+            pool = _proven(build_pool(backend, states,
+                                      transport=transport,
+                                      slot_updates=chunk_size))
         pipeline = cls.__new__(cls)
         pipeline.partition = partition
         pipeline.chunk_size = chunk_size
         pipeline.backend = backend
+        pipeline.transport = transport
         pipeline.updates_ingested = updates_ingested
         pipeline._cursor = cursor
         pipeline._closed = False

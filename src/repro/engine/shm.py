@@ -1,0 +1,180 @@
+"""Shared-memory slot rings: pickle-free chunk transport to workers.
+
+The process backend's default transport pickles every routed
+``(indices, deltas)`` chunk through a multiprocessing queue: serialise
+in the parent's feeder thread, copy through an OS pipe, deserialise in
+the worker — three traversals of the payload per chunk.  For the large
+chunks the engine actually ships, one memcpy is enough:
+:class:`SlotRing` carves a ``multiprocessing.shared_memory`` segment
+into ``slots`` fixed-size slots; the parent writes a chunk's arrays
+into a free slot and sends only a tiny control message naming the slot
+and the array shapes, and the worker maps the slot back into numpy
+views *without copying anything*.
+
+Flow control is a counting semaphore (``slots`` permits) owned by the
+pool, acquired by the parent before writing and released by the worker
+after the chunk has been fully applied:
+
+* slots are used strictly round-robin and the control queue is FIFO,
+  so the permit count exactly tracks which slots are still in flight —
+  a slot is never overwritten before its consumer is done with it;
+* the release happens *after* ``update_many`` returns, so the views a
+  worker reads stay valid for exactly as long as it needs them (no
+  structure retains its update arrays — they are reduced into counter
+  state on the spot);
+* the parent's acquire loop polls worker liveness, so a dead consumer
+  surfaces as :class:`~repro.engine.workers.WorkerCrashed` instead of
+  a hang — the same failure contract the queue transport has.
+
+Slots are fixed-size (``2 * 8 * slot_updates`` bytes — an int64 index
+and an int64/float64 delta per update, the engine's wire dtypes).  A
+chunk too large for a slot falls back to the pickle path transparently;
+the pipeline never produces one (its chunks are at most ``chunk_size``
+updates), but ``ProcessPool.submit`` is public API.
+
+Lifecycle: the parent creates the segment and is the only one to
+unlink it (at pool close).  Workers attach read-only-by-convention
+(fork inherits the mapping for free; spawn re-attaches by name, where
+the attach path unregisters the segment from the child's
+``resource_tracker`` so the parent's unlink is not double-reported).
+"""
+
+from __future__ import annotations
+
+import multiprocessing.shared_memory as mp_shm
+
+import numpy as np
+
+#: Bytes per update slot entry: one int64 index + one 8-byte delta.
+BYTES_PER_UPDATE = 16
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    ``SharedMemory(name=...)`` registers the mapping with the resource
+    tracker even when merely *attaching*; a worker that exits without
+    unlinking (correct — the parent owns the segment) would then be
+    reported as a leak.  The tracker has no public unregister, so this
+    reaches for the private API and treats any failure as cosmetic.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SlotRing:
+    """A shared-memory segment carved into fixed-size chunk slots.
+
+    Parameters
+    ----------
+    slots:
+        How many chunks may be in flight at once (the pool pairs this
+        with a semaphore holding ``slots`` permits).
+    slot_updates:
+        Capacity of one slot, in updates (16 bytes each).
+    """
+
+    def __init__(self, slots: int, slot_updates: int):
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        if slot_updates < 1:
+            raise ValueError("slots must hold at least one update")
+        self.slots = int(slots)
+        self.slot_updates = int(slot_updates)
+        self.slot_bytes = BYTES_PER_UPDATE * self.slot_updates
+        self._shm = mp_shm.SharedMemory(
+            create=True, size=self.slots * self.slot_bytes)
+        self._owner = True
+
+    # -- pickling: workers re-attach by name under spawn ---------------------
+
+    def __reduce__(self):
+        return (SlotRing._attach,
+                (self._shm.name, self.slots, self.slot_updates))
+
+    @classmethod
+    def _attach(cls, name: str, slots: int,
+                slot_updates: int) -> "SlotRing":
+        ring = cls.__new__(cls)
+        ring.slots = slots
+        ring.slot_updates = slot_updates
+        ring.slot_bytes = BYTES_PER_UPDATE * slot_updates
+        ring._shm = mp_shm.SharedMemory(name=name)
+        ring._owner = False
+        _untrack(name)      # the creating process owns the unlink
+        return ring
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def fits(self, indices: np.ndarray, deltas: np.ndarray) -> bool:
+        """Whether one chunk's payload fits a slot."""
+        return indices.nbytes + deltas.nbytes <= self.slot_bytes
+
+    # -- the data plane ------------------------------------------------------
+
+    def write(self, slot: int, indices: np.ndarray,
+              deltas: np.ndarray) -> tuple:
+        """Copy a chunk into ``slot``; returns the control descriptor.
+
+        The descriptor ``(slot, index_dtype, count, delta_dtype)`` is
+        everything :meth:`read` needs — it rides the (tiny) control
+        queue while the payload stays out of pickle entirely.  The
+        layout is two equal-length 1-D arrays; anything else must take
+        the pickle path (a single count cannot describe it).
+        """
+        if indices.ndim != 1 or indices.shape != deltas.shape:
+            raise ValueError(
+                "slot payloads are paired 1-D arrays of equal length; "
+                f"got indices {indices.shape} / deltas {deltas.shape}")
+        offset = slot * self.slot_bytes
+        buffer = self._shm.buf
+        index_view = np.ndarray(indices.shape, dtype=indices.dtype,
+                                buffer=buffer, offset=offset)
+        np.copyto(index_view, indices)
+        delta_view = np.ndarray(deltas.shape, dtype=deltas.dtype,
+                                buffer=buffer,
+                                offset=offset + indices.nbytes)
+        np.copyto(delta_view, deltas)
+        return (slot, indices.dtype.str, int(indices.size),
+                deltas.dtype.str)
+
+    def read(self, descriptor: tuple) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy views of the chunk a descriptor names.
+
+        The views alias the slot's memory: they are valid until the
+        consumer signals the slot free (releases the permit), which
+        must happen only after the chunk has been fully applied.
+        """
+        slot, index_dtype, count, delta_dtype = descriptor
+        offset = slot * self.slot_bytes
+        indices = np.ndarray(count, dtype=np.dtype(index_dtype),
+                             buffer=self._shm.buf, offset=offset)
+        deltas = np.ndarray(count, dtype=np.dtype(delta_dtype),
+                            buffer=self._shm.buf,
+                            offset=offset + indices.nbytes)
+        return indices, deltas
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap (everyone); unlink the segment (creator only)."""
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:
+                pass
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

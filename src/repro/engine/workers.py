@@ -12,13 +12,28 @@ interface with two implementations:
 * :class:`ProcessPool` — one OS process per shard.  Each worker is
   born from the shard's checkpoint blob (so nothing unpicklable — a
   factory closure, say — ever crosses the process boundary), receives
-  routed ``(indices, deltas)`` chunks over a bounded multiprocessing
-  queue, and ships state back as the very same checkpoint blob the
-  serial path produces.  Because restore is bit-exact and each worker
-  applies its chunks in submission order, the process backend's merged
-  state is byte-identical to the serial backend's for *every*
-  registered structure (float-state ones included: same operations,
-  same order).
+  routed ``(indices, deltas)`` chunks, and ships state back as the
+  very same checkpoint blob the serial path produces.  Because restore
+  is bit-exact and each worker applies its chunks in submission order,
+  the process backend's merged state is byte-identical to the serial
+  backend's for *every* registered structure (float-state ones
+  included: same operations, same order).
+
+Chunk transport (process backend)
+---------------------------------
+
+Two interchangeable transports move routed chunks to the workers —
+``transport="pickle"`` (default) sends the arrays through the bounded
+multiprocessing queue (serialise, pipe, deserialise), while
+``transport="shm"`` writes them into a per-worker shared-memory
+:class:`~repro.engine.shm.SlotRing` and sends only a tiny slot
+descriptor over the queue, so the payload is copied exactly once and
+never pickled.  Slot flow control is a counting semaphore released by
+the worker *after* the chunk is applied, which preserves the flush
+barrier (control messages stay FIFO behind the descriptors) and the
+crash contract (the parent's slot-acquire loop polls worker liveness).
+The transport is an execution choice like the backend itself: both
+produce byte-identical state and interoperate with every checkpoint.
 
 Failure semantics (process backend)
 -----------------------------------
@@ -36,10 +51,12 @@ pool cannot outlive the parent process.
 from __future__ import annotations
 
 import multiprocessing as mp
+import numpy as np
 import queue as queue_mod
 import traceback
 
 from .checkpoint import checkpoint as snapshot, restore as restore_blob
+from .shm import SlotRing
 
 #: Liveness-poll interval while blocking on a worker queue (seconds).
 _POLL_S = 0.2
@@ -51,18 +68,30 @@ _STOP_GRACE_S = 10.0
 #: Backend names accepted by the pipeline, in documentation order.
 BACKENDS = ("serial", "process")
 
+#: Chunk transports the process backend accepts.
+TRANSPORTS = ("pickle", "shm")
 
-def build_pool(backend: str, structures: list) -> "WorkerPool":
+#: Default shared-memory slot capacity, in updates (the pipeline
+#: overrides this with its chunk size so every routed chunk fits).
+DEFAULT_SLOT_UPDATES = 8192
+
+
+def build_pool(backend: str, structures: list, transport: str = "pickle",
+               slot_updates: int = DEFAULT_SLOT_UPDATES) -> "WorkerPool":
     """A pool of the named backend seeded with these shard structures.
 
     The single construction point the pipeline uses at build, restore
     and reshard time: ``serial`` adopts the structures directly,
     ``process`` ships each one to its worker as a checkpoint blob (the
     same wire format :meth:`WorkerPool.snapshots` returns), so nothing
-    unpicklable ever crosses the process boundary.
+    unpicklable ever crosses the process boundary.  ``transport`` and
+    ``slot_updates`` configure the process backend's chunk transport
+    (see :class:`ProcessPool`); the serial backend has no transport.
     """
     if backend == "process":
-        return ProcessPool([snapshot(shard) for shard in structures])
+        return ProcessPool([snapshot(shard) for shard in structures],
+                           transport=transport,
+                           slot_updates=slot_updates)
     return SerialPool(structures)
 
 
@@ -135,12 +164,17 @@ class SerialPool(WorkerPool):
         pass                       # nothing external to release
 
 
-def _shard_worker(blob: bytes, inbox, outbox) -> None:
+def _shard_worker(blob: bytes, inbox, outbox, ring=None,
+                  free_slots=None) -> None:
     """Worker main: restore the shard, then serve the message loop.
 
-    Messages are ``("ingest", indices, deltas)``, ``("ping",)``,
-    ``("snapshot",)`` and ``("stop",)``.  Any exception ships its
-    traceback through ``outbox`` and ends the process; the parent
+    Messages are ``("ingest", indices, deltas)`` (pickle transport),
+    ``("shm", descriptor)`` (a chunk waiting in the shared-memory
+    ring), ``("ping",)``, ``("snapshot",)`` and ``("stop",)``.  An shm
+    chunk is applied from zero-copy views into the ring and its slot
+    permit is released only afterwards, so the parent can never
+    overwrite memory the worker is still reading.  Any exception ships
+    its traceback through ``outbox`` and ends the process; the parent
     turns it into :class:`WorkerCrashed`.
     """
     try:
@@ -150,6 +184,10 @@ def _shard_worker(blob: bytes, inbox, outbox) -> None:
             op = message[0]
             if op == "ingest":
                 shard.update_many(message[1], message[2])
+            elif op == "shm":
+                indices, deltas = ring.read(message[1])
+                shard.update_many(indices, deltas)
+                free_slots.release()
             elif op == "ping":
                 outbox.put(("pong", None))
             elif op == "snapshot":
@@ -167,12 +205,17 @@ def _shard_worker(blob: bytes, inbox, outbox) -> None:
 
 
 class _Worker:
-    __slots__ = ("process", "inbox", "outbox")
+    __slots__ = ("process", "inbox", "outbox", "ring", "free_slots",
+                 "cursor")
 
-    def __init__(self, process, inbox, outbox):
+    def __init__(self, process, inbox, outbox, ring=None,
+                 free_slots=None):
         self.process = process
         self.inbox = inbox
         self.outbox = outbox
+        self.ring = ring
+        self.free_slots = free_slots
+        self.cursor = 0            # next shm slot, strictly round-robin
 
 
 class ProcessPool(WorkerPool):
@@ -191,16 +234,32 @@ class ProcessPool(WorkerPool):
     queue_depth:
         Chunks buffered per worker before :meth:`submit` applies
         backpressure; bounds parent->worker memory at
-        ``queue_depth * chunk_size`` updates per shard.
+        ``queue_depth * chunk_size`` updates per shard.  Under the shm
+        transport this is also the slot count of each worker's ring.
+    transport:
+        ``"pickle"`` ships chunks through the queue; ``"shm"`` writes
+        them into a per-worker shared-memory ring and queues only slot
+        descriptors (see :mod:`repro.engine.shm`).  A chunk larger
+        than a slot falls back to the pickle path for that chunk.
+    slot_updates:
+        Slot capacity in updates for the shm transport (ignored under
+        pickle).  The pipeline passes its chunk size so every routed
+        chunk fits.
     """
 
     shares_state = False
 
     def __init__(self, blobs: list[bytes], start_method: str | None = None,
-                 queue_depth: int = 4):
+                 queue_depth: int = 4, transport: str = "pickle",
+                 slot_updates: int = DEFAULT_SLOT_UPDATES):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, not "
+                f"{transport!r}")
         if start_method is None and "fork" in mp.get_all_start_methods():
             start_method = "fork"
         context = mp.get_context(start_method)
+        self.transport = transport
         self._closed = False
         self._fatal = None
         self._workers = []
@@ -208,11 +267,17 @@ class ProcessPool(WorkerPool):
             for i, blob in enumerate(blobs):
                 inbox = context.Queue(queue_depth)
                 outbox = context.Queue()
+                ring = free_slots = None
+                if transport == "shm":
+                    ring = SlotRing(queue_depth, slot_updates)
+                    free_slots = context.BoundedSemaphore(queue_depth)
                 process = context.Process(
-                    target=_shard_worker, args=(blob, inbox, outbox),
+                    target=_shard_worker,
+                    args=(blob, inbox, outbox, ring, free_slots),
                     name=f"repro-shard-{i}", daemon=True)
                 process.start()
-                self._workers.append(_Worker(process, inbox, outbox))
+                self._workers.append(
+                    _Worker(process, inbox, outbox, ring, free_slots))
         except Exception:
             self.close()
             raise
@@ -261,7 +326,44 @@ class ProcessPool(WorkerPool):
 
     def submit(self, shard: int, indices, deltas) -> None:
         self._require_open()
+        worker = self._workers[shard]
+        if worker.ring is not None:
+            indices = np.asarray(indices)
+            deltas = np.asarray(deltas)
+            # The slot layout is two equal-length 1-D arrays; anything
+            # else (oversized chunks, scalar/broadcast deltas — both
+            # possible only through direct pool use, pipeline chunks
+            # are always paired slices) rides the pickle path, where
+            # update_many's own broadcasting applies.
+            if indices.ndim == 1 and indices.shape == deltas.shape \
+                    and worker.ring.fits(indices, deltas):
+                self._send_shm(shard, indices, deltas)
+                return
         self._send(shard, ("ingest", indices, deltas))
+
+    def _send_shm(self, shard: int, indices: np.ndarray,
+                  deltas: np.ndarray) -> None:
+        """Write one chunk into the worker's next ring slot.
+
+        The slot permit is acquired first (with the same liveness
+        polling as a queue send, so a dead worker raises instead of
+        deadlocking on permits it will never release), the payload is
+        memcpy'd into the slot, and only the slot descriptor crosses
+        the control queue.
+        """
+        worker = self._workers[shard]
+        while True:
+            self._ensure_alive(shard)
+            if worker.free_slots.acquire(timeout=_POLL_S):
+                break
+        try:
+            descriptor = worker.ring.write(worker.cursor, indices,
+                                           deltas)
+            worker.cursor = (worker.cursor + 1) % worker.ring.slots
+        except BaseException:
+            worker.free_slots.release()     # the slot was never used
+            raise
+        self._send(shard, ("shm", descriptor))
 
     def _receive(self, shard: int, want: str):
         worker = self._workers[shard]
@@ -332,6 +434,8 @@ class ProcessPool(WorkerPool):
                     channel.close()
                 except Exception:
                     pass
+            if worker.ring is not None:
+                worker.ring.close()    # creator: unmap + unlink
 
     def __del__(self):
         try:

@@ -7,14 +7,16 @@ integer seed.
 """
 
 from .field import DEFAULT_FIELD, MERSENNE31, MERSENNE61, PrimeField
-from .kwise import (BucketHash, KWiseHash, SignHash, SubsetHash,
+from .kwise import (BucketHash, KWiseHash, SignHash, StackedBucketHash,
+                    StackedKWiseHash, StackedSignHash, SubsetHash,
                     UniformScalarHash, derive_rngs)
 from .nisan import NisanPRG, prg_for_universe
 from .prng import CounterRNG, splitmix64
 
 __all__ = [
     "DEFAULT_FIELD", "MERSENNE31", "MERSENNE61", "PrimeField",
-    "BucketHash", "KWiseHash", "SignHash", "SubsetHash",
+    "BucketHash", "KWiseHash", "SignHash", "StackedBucketHash",
+    "StackedKWiseHash", "StackedSignHash", "SubsetHash",
     "UniformScalarHash", "derive_rngs",
     "NisanPRG", "prg_for_universe",
     "CounterRNG", "splitmix64",

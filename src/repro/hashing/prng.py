@@ -65,9 +65,26 @@ class CounterRNG:
         mixed = splitmix64(k ^ splitmix64(np.uint64(stream) ^ self.seed))
         return splitmix64(mixed)
 
+    def raw_block(self, keys, streams) -> np.ndarray:
+        """:meth:`raw` for many streams at once: ``(len(streams), n)``.
+
+        Row ``j`` is byte-identical to ``raw(keys, streams[j])`` — the
+        same exact integer mixing, evaluated with one broadcast instead
+        of a Python loop over streams.  This is the batched entry point
+        the fused sketch kernels use.
+        """
+        k = np.asarray(keys, dtype=np.uint64)
+        s = splitmix64(np.asarray(streams, dtype=np.uint64) ^ self.seed)
+        return splitmix64(splitmix64(k[None, :] ^ s[:, None]))
+
     def uniform(self, keys, stream: int = 0) -> np.ndarray:
         """Uniforms in the open interval (0, 1)."""
         bits = self.raw(keys, stream) >> np.uint64(11)  # top 53 bits
+        return (np.asarray(bits, dtype=np.float64) + 0.5) / _TWO53
+
+    def uniform_block(self, keys, streams) -> np.ndarray:
+        """:meth:`uniform` over many streams: ``(len(streams), n)``."""
+        bits = self.raw_block(keys, streams) >> np.uint64(11)
         return (np.asarray(bits, dtype=np.float64) + 0.5) / _TWO53
 
     # -- derived distributions ----------------------------------------------
@@ -108,6 +125,33 @@ class CounterRNG:
             return self.cauchy(keys, stream)
         theta = np.pi * (self.uniform(keys, 2 * stream) - 0.5)
         w = -np.log(self.uniform(keys, 2 * stream + 1))
+        return self._cms(p, theta, w)
+
+    def stable_block(self, p: float, keys, streams) -> np.ndarray:
+        """:meth:`stable` over many streams: ``(len(streams), n)``.
+
+        Row ``j`` equals ``stable(p, keys, streams[j])`` bit for bit:
+        the underlying 64-bit mixing is exact and every float transform
+        is elementwise, so batching cannot change a single variate.
+        """
+        if not 0.0 < p <= 2.0:
+            raise ValueError("stability parameter p must lie in (0, 2]")
+        s = np.asarray(streams, dtype=np.uint64)
+        if abs(p - 2.0) < 1e-12:
+            u1 = self.uniform_block(keys, 2 * s)
+            u2 = self.uniform_block(keys, 2 * s + np.uint64(1))
+            return np.sqrt(2.0) * (np.sqrt(-2.0 * np.log(u1))
+                                   * np.cos(2.0 * np.pi * u2))
+        if abs(p - 1.0) < 1e-12:
+            u = self.uniform_block(keys, s)
+            return np.tan(np.pi * (u - 0.5))
+        theta = np.pi * (self.uniform_block(keys, 2 * s) - 0.5)
+        w = -np.log(self.uniform_block(keys, 2 * s + np.uint64(1)))
+        return self._cms(p, theta, w)
+
+    @staticmethod
+    def _cms(p: float, theta, w) -> np.ndarray:
+        """The Chambers–Mallows–Stuck transform (shape-agnostic)."""
         num = np.sin(p * theta)
         den = np.cos(theta) ** (1.0 / p)
         tail = (np.cos((1.0 - p) * theta) / w) ** ((1.0 - p) / p)

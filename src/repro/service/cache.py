@@ -34,9 +34,15 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._accesses: dict[tuple, int] = {}   # key -> lifetime uses
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def contains(self, key: tuple) -> bool:
+        """Membership peek: no counters, no LRU reordering (so a
+        prewarm probe never skews the hit-rate statistics)."""
+        return key in self._entries
 
     @staticmethod
     def key(token: int, epoch: int, op: str, args: dict) -> tuple:
@@ -58,6 +64,7 @@ class ResultCache:
         if self.capacity and key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            self._accesses[key] = self._accesses.get(key, 0) + 1
             return True, self._entries[key]
         self.misses += 1
         return False, None
@@ -65,14 +72,34 @@ class ResultCache:
     def put(self, key: tuple, value) -> None:
         if not self.capacity:
             return
+        if key not in self._accesses:
+            self._accesses[key] = 1    # the miss that computed it
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._accesses.pop(evicted, None)
             self.evictions += 1
+
+    def hottest(self, token: int, limit: int) -> list[tuple]:
+        """The most-used live ``(op, args)`` pairs under one snapshot
+        token, hottest first (ties broken most-recently-used first).
+
+        This is the admission signal for cache prewarming: when a new
+        epoch's snapshot is captured, the previous epoch's hottest
+        queries are the ones a steady dashboard will ask again.
+        """
+        token = int(token)
+        # reversed() walks most-recent first; the sort is stable, so
+        # equal access counts keep that recency order.
+        candidates = [key for key in reversed(self._entries)
+                      if key[0] == token]
+        candidates.sort(key=lambda key: -self._accesses.get(key, 0))
+        return [(key[2], key[3]) for key in candidates[:max(0, limit)]]
 
     def clear(self) -> None:
         self._entries.clear()
+        self._accesses.clear()
 
 
 @dataclass
@@ -92,6 +119,8 @@ class ServiceStats:
     ingest_updates: int = 0
     ingest_seconds: float = 0.0
     snapshots_captured: int = 0
+    prewarmed: int = 0             # results precomputed at refresh time
+    prewarm_seconds: float = 0.0
     reshards: int = 0
     per_op: dict = field(default_factory=dict)   # op -> count
 
@@ -142,6 +171,8 @@ class ServiceStats:
             "ingest_seconds": self.ingest_seconds,
             "ingest_rate": self.ingest_rate,
             "snapshots_captured": self.snapshots_captured,
+            "prewarmed": self.prewarmed,
+            "prewarm_seconds": self.prewarm_seconds,
             "reshards": self.reshards,
             "per_op": dict(self.per_op),
         }

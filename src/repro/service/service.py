@@ -45,6 +45,11 @@ class QueryService:
         How many epochs stay queryable (time-travel window).
     cache_size:
         LRU capacity for query results; 0 disables caching.
+    prewarm:
+        Cache admission at refresh time: when a new snapshot is
+        captured, precompute its answers for up to this many of the
+        previous epoch's hottest queries (most-accessed cache keys),
+        so a steady query mix stays hot across epochs.  0 disables.
     policy:
         A :class:`WatermarkPolicy` enabling the automatic reshard
         trigger, or None to leave the topology alone.
@@ -54,9 +59,12 @@ class QueryService:
 
     def __init__(self, pipeline: ShardedPipeline, *,
                  refresh_every: int | None = None, keep: int = 4,
-                 cache_size: int = 128,
+                 cache_size: int = 128, prewarm: int = 8,
                  policy: WatermarkPolicy | None = None,
                  timer=default_timer):
+        if int(prewarm) < 0:
+            raise ValueError(f"prewarm must be >= 0, not {prewarm}")
+        self._prewarm = int(prewarm)
         self.pipeline = pipeline
         self.stats = ServiceStats()
         self.snapshots = SnapshotManager(pipeline,
@@ -73,12 +81,14 @@ class QueryService:
     @classmethod
     def from_checkpoint(cls, blob: bytes, backend: str = "serial",
                         shards: int | None = None,
+                        transport: str | None = None,
                         **kwargs) -> "QueryService":
         """Boot a service straight from a pipeline checkpoint — a
         restored stream (or a remote site's blob) is queryable without
         its original factory or process."""
         return cls(ShardedPipeline.restore(blob, backend=backend,
-                                           shards=shards), **kwargs)
+                                           shards=shards,
+                                           transport=transport), **kwargs)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -126,18 +136,24 @@ class QueryService:
 
     def refresh(self) -> Snapshot:
         """Force a snapshot at the current epoch (no-op if unchanged)."""
-        captures_before = self.snapshots.captures
-        snapshot = self.snapshots.refresh()
-        self.stats.snapshots_captured += (self.snapshots.captures
-                                          - captures_before)
-        return snapshot
+        return self._advance(self.snapshots.refresh)
 
     def current(self) -> Snapshot:
         """The serving snapshot (auto-refreshing per policy)."""
+        return self._advance(self.snapshots.current)
+
+    def _advance(self, capture) -> Snapshot:
+        """Run one snapshot-manager capture call, booking captures and
+        prewarming the new epoch's cache from the epoch it displaced
+        (see :meth:`QueryRouter.prewarm`)."""
+        previous = self.snapshots.newest()
         captures_before = self.snapshots.captures
-        snapshot = self.snapshots.current()
-        self.stats.snapshots_captured += (self.snapshots.captures
-                                          - captures_before)
+        snapshot = capture()
+        captured = self.snapshots.captures - captures_before
+        self.stats.snapshots_captured += captured
+        if captured and previous is not None and self._prewarm:
+            self.router.prewarm(snapshot, previous.cache_token,
+                                self._prewarm)
         return snapshot
 
     def query(self, op: str, *, at: int | None = None, **args):

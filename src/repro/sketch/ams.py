@@ -44,6 +44,7 @@ class AMSSketch(LinearSketch):
         rngs = derive_rngs(np.random.SeedSequence((self.seed, 0xA5)),
                            self.rows)
         self._signs = [SignHash(4, rngs[j]) for j in range(self.rows)]
+        self._stacked_signs = SignHash.stack(self._signs)
         self.counters = np.zeros(self.rows, dtype=np.float64)
 
     def _params(self) -> dict:
@@ -61,10 +62,36 @@ class AMSSketch(LinearSketch):
                 and self.per_group == other.per_group)
 
     def update_many(self, indices, deltas) -> None:
+        """Fused update: every row's 4-wise signs from one stacked
+        Horner pass, then a single row-wise reduction.  Byte-identical
+        to :meth:`_reference_update_many` (numpy's pairwise summation
+        over the contiguous axis is the same for a 2-D row slab as for
+        each row alone)."""
         idx = np.asarray(indices, dtype=np.int64)
         dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
+        self.counters += self._stacked_signs.apply(idx, dlt).sum(axis=1)
+
+    def _reference_update_many(self, indices, deltas) -> None:
+        """The per-row path, kept as the equivalence oracle: one sign
+        hash call and one reduction per row.
+
+        One deliberate delta from the pre-fusion code: the row
+        reduction is ``(signs * dlt).sum()`` (numpy pairwise
+        summation) rather than the old ``signs @ dlt`` (BLAS dot) —
+        the two differ by reassociation ulps on fractional deltas, and
+        only the former has a batched row-wise equivalent
+        (``sum(axis=1)``) that is bit-equal per row.  For the integral
+        deltas the engine's turnstile model enforces, both reductions
+        are exact and identical.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
         for j in range(self.rows):
-            self.counters[j] += float(self._signs[j](idx) @ dlt)
+            self.counters[j] += (self._signs[j](idx) * dlt).sum()
 
     def l2_squared(self) -> float:
         """Median-of-means estimate of ``||x||_2^2``."""

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..hashing.kwise import BucketHash, derive_rngs
 from ..space.accounting import SpaceReport, counter_bits
+from .kernels import scatter_add_rows
 from .linear import LinearSketch
 from .serialize import register
 
@@ -42,6 +43,7 @@ class CountMin(LinearSketch):
                            self.rows)
         self._hashes = [BucketHash(2, self.buckets, rngs[j])
                         for j in range(self.rows)]
+        self._stacked = BucketHash.stack(self._hashes)
         self.table = np.zeros((self.rows, self.buckets), dtype=np.int64)
 
     def _params(self) -> dict:
@@ -59,6 +61,34 @@ class CountMin(LinearSketch):
                 and self.rows == other.rows)
 
     def update_many(self, indices, deltas) -> None:
+        """Fused update: every row's bucket hash from one cache-blocked
+        stacked Horner pass, then the (fast since numpy 1.24) per-row
+        ``np.add.at`` scatter — native int64, exact at any magnitude,
+        and byte-identical to :meth:`_reference_update_many`.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.int64)
+        if idx.size == 0:
+            return
+        buckets = self._stacked(idx)                    # (rows, n)
+        for j in range(self.rows):
+            np.add.at(self.table[j], buckets[j], dlt)
+
+    def _bincount_update_many(self, indices, deltas) -> None:
+        """The flattened-``bincount`` scatter lane (same fused hashing);
+        the kernel keeps integer state exact at any delta magnitude by
+        falling back to a native-int64 segmented sum past the float64
+        window.  Benchmarked against :meth:`update_many` to justify the
+        ``np.add.at`` default."""
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.int64)
+        if idx.size == 0:
+            return
+        buckets = self._stacked(idx)
+        self.table += scatter_add_rows(buckets, dlt, self.buckets)
+
+    def _reference_update_many(self, indices, deltas) -> None:
+        """The historical per-row ``np.add.at`` path (equivalence oracle)."""
         idx = np.asarray(indices, dtype=np.int64)
         dlt = np.asarray(deltas, dtype=np.int64)
         for j in range(self.rows):
@@ -67,10 +97,8 @@ class CountMin(LinearSketch):
 
     def _row_samples(self, indices) -> np.ndarray:
         idx = np.asarray(indices, dtype=np.int64)
-        samples = np.empty((self.rows, idx.size), dtype=np.int64)
-        for j in range(self.rows):
-            samples[j] = self.table[j, self._hashes[j](idx).astype(np.int64)]
-        return samples
+        buckets = self._stacked(idx).astype(np.int64)
+        return np.take_along_axis(self.table, buckets, axis=1)
 
     def estimate(self, index: int) -> int:
         """Count-min estimate: never below ``x_i`` in strict turnstile."""

@@ -25,10 +25,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..hashing.kwise import BucketHash, SignHash, derive_rngs
+from ..hashing.kwise import BucketHash, KWiseHash, SignHash, derive_rngs
 from ..space.accounting import SpaceReport, counter_bits
+from .kernels import scatter_add_rows
 from .linear import LinearSketch
 from .serialize import register
+
+#: Max elements per ``(rows, block)`` scratch slab the estimation path
+#: materialises at once; bounds query-time memory to
+#: ``rows * _ESTIMATE_BLOCK`` floats regardless of the universe size.
+_ESTIMATE_BLOCK = 1 << 15
 
 
 @register
@@ -68,6 +74,12 @@ class CountSketch(LinearSketch):
                                for j in range(self.rows)]
         self._sign_hashes = [SignHash(independence, rngs[2 * j + 1])
                              for j in range(self.rows)]
+        # One fused evaluator over all 2*rows polynomials (bucket rows
+        # first, then sign rows): a single key reduction and Horner
+        # pass per batch, bit-equal per row to the per-row hashes.
+        self._fused_rows = KWiseHash.stack(
+            [h.kwise for h in self._bucket_hashes]
+            + [g.kwise for g in self._sign_hashes])
         self.table = np.zeros((self.rows, self.buckets), dtype=np.float64)
 
     # -- LinearSketch plumbing -------------------------------------------------
@@ -90,6 +102,64 @@ class CountSketch(LinearSketch):
     # -- updates -----------------------------------------------------------------
 
     def update_many(self, indices, deltas) -> None:
+        """Fused update: all 2*rows hash polynomials evaluated in one
+        cache-blocked stacked Horner pass, then the per-row scatter.
+
+        The scatter stays ``np.add.at`` by measurement: since numpy
+        1.24 the ufunc ``at`` fast path scatters at ~2 ns/element, so
+        replacing it with the flattened-``bincount`` kernel
+        (:func:`~repro.sketch.kernels.scatter_add_rows`, kept and
+        benchmarked as the alternative lane) costs more in flat-index
+        and weight temporaries than it saves.  Byte-identical to
+        :meth:`_reference_update_many` — same hash values, same
+        scatter ops in the same order (the equivalence tests pin it).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
+        buckets, signs = self._hash_block(idx)
+        signed = signs * dlt
+        for j in range(self.rows):
+            np.add.at(self.table[j], buckets[j], signed[j])
+
+    def _bincount_update_many(self, indices, deltas) -> None:
+        """The flattened-``bincount`` scatter lane (same fused hashing).
+
+        Accumulates the whole batch into a zero table delta first, so
+        repeated batches differ from :meth:`update_many` by float
+        reassociation ulps; from a zero table a single batch is
+        byte-identical.  Kept callable so the ingest benchmark can
+        publish the scatter-strategy comparison that justifies the
+        ``np.add.at`` default.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
+        buckets, signs = self._hash_block(idx)
+        self.table += scatter_add_rows(buckets, signs * dlt, self.buckets)
+
+    def _hash_block(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All rows' buckets (``(rows, n)`` uint64) and signs
+        (``(rows, n)`` int8) from one fused field-hash evaluation.
+        The range reduction runs in place on the evaluator's fresh
+        slab (read-only only in the degenerate ``independence == 1``
+        case, where the hashes are constants)."""
+        values = self._fused_rows(idx)                  # (2*rows, n)
+        half = values[:self.rows]
+        buckets = np.remainder(
+            half, np.uint64(self.buckets),
+            out=half if values.flags.writeable else None)
+        signs = np.asarray(values[self.rows:] & np.uint64(1),
+                           dtype=np.int8) * 2 - 1
+        return buckets, signs
+
+    def _reference_update_many(self, indices, deltas) -> None:
+        """The historical per-row path, kept as the equivalence oracle:
+        one bucket-hash call, one sign-hash call and one ``np.add.at``
+        scatter per row.  The fused path must reproduce its tables bit
+        for bit (same hash values, same scatter order)."""
         idx = np.asarray(indices, dtype=np.int64)
         dlt = np.asarray(deltas, dtype=np.float64)
         for j in range(self.rows):
@@ -104,19 +174,35 @@ class CountSketch(LinearSketch):
         return float(self.estimate_many(np.array([index]))[0])
 
     def estimate_many(self, indices) -> np.ndarray:
+        """Point estimates for a batch of coordinates.
+
+        Internally chunked: the ``(rows, batch)`` gather runs over
+        blocks of at most ``_ESTIMATE_BLOCK`` coordinates, so scratch
+        memory stays bounded however many coordinates are asked for
+        (``estimate_all`` over a large universe included) while each
+        block still runs the stacked vectorised path.
+        """
         idx = np.asarray(indices, dtype=np.int64)
-        samples = np.empty((self.rows, idx.size), dtype=np.float64)
-        for j in range(self.rows):
-            buckets = self._bucket_hashes[j](idx).astype(np.int64)
-            samples[j] = self._sign_hashes[j](idx) * self.table[j, buckets]
-        return np.median(samples, axis=0)
+        out = np.empty(idx.shape, dtype=np.float64)
+        flat_idx = np.atleast_1d(idx)
+        flat_out = np.atleast_1d(out)
+        for start in range(0, flat_idx.size, _ESTIMATE_BLOCK):
+            block = flat_idx[start:start + _ESTIMATE_BLOCK]
+            buckets, signs = self._hash_block(block)
+            samples = signs * np.take_along_axis(
+                self.table, buckets.astype(np.int64), axis=1)
+            flat_out[start:start + _ESTIMATE_BLOCK] = \
+                np.median(samples, axis=0)
+        return out
 
     def estimate_all(self) -> np.ndarray:
         """``x*`` for the whole universe (vectorised; recovery-time only).
 
         The streaming *space* story is unaffected: this is a query-time
         computation over public hash functions, exactly the ``find i
-        with |z*_i| maximal`` step of Figure 1's recovery stage.
+        with |z*_i| maximal`` step of Figure 1's recovery stage.  Peak
+        scratch is ``rows * _ESTIMATE_BLOCK`` floats (the chunked
+        :meth:`estimate_many`), not ``rows * universe``.
         """
         return self.estimate_many(np.arange(self.universe, dtype=np.int64))
 

@@ -1,0 +1,113 @@
+"""Fused table-update kernels shared by the linear sketches.
+
+The hot write path of every counter-table sketch is a scatter-add: for
+each of ``rows`` hash rows, add the (signed/scaled) deltas into the
+buckets the row's hash selects.  The historical implementation looped
+over rows in Python and scattered with ``np.add.at`` — numpy's slowest
+scatter (it dispatches per element and cannot vectorise).  The fused
+kernel here does the whole table in one shot: offset row ``j``'s
+buckets by ``j * width`` into a flat index space and accumulate with a
+single ``np.bincount``, which walks the batch once at memcpy-like
+speed.
+
+Equivalence contract (what the kernel-equivalence tests pin):
+
+* ``np.bincount`` accumulates weights in input order, exactly like
+  ``np.add.at`` into a zero-initialised array, so for float tables the
+  fused batch delta is *byte-identical* to the per-row reference
+  scatter into scratch rows;
+* integer tables must stay exact for any int64 deltas.  ``bincount``
+  sums in float64, which is exact only while every partial sum fits in
+  2**53 — cheap to check, and almost always true.  When the check
+  fails the kernel falls back to a sort + ``np.add.reduceat`` path
+  that sums in native int64 (associative, so ordering is irrelevant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Partial sums below this are exactly representable in float64, so the
+#: ``bincount`` fast path is bit-exact for integer weights.
+_EXACT_FLOAT_SUM = 2.0 ** 53
+
+
+def flat_row_indices(buckets: np.ndarray, width: int) -> np.ndarray:
+    """Flatten per-row bucket indices ``(rows, n)`` into ``rows * width``
+    flat positions: row ``j``'s buckets land in ``[j*width, (j+1)*width)``.
+    Stays in the input's (unsigned) dtype — ``np.bincount`` accepts it
+    and the extra signed copy is one whole pass saved."""
+    rows = buckets.shape[0]
+    offsets = (np.arange(rows, dtype=np.uint64)
+               * np.uint64(width))[:, None].astype(buckets.dtype)
+    return (buckets + offsets).ravel()
+
+
+def scatter_add_rows(buckets: np.ndarray, values: np.ndarray,
+                     width: int) -> np.ndarray:
+    """The fused scatter: per-row bucketed sums of ``values``.
+
+    Parameters
+    ----------
+    buckets:
+        ``(rows, n)`` bucket index per row and update (any int dtype,
+        values in ``[0, width)``).
+    values:
+        ``(rows, n)`` weights (float64 or int64) or ``(n,)`` to share
+        one weight vector across all rows.
+    width:
+        Buckets per row.
+
+    Returns the ``(rows, width)`` batch delta — add it to the table.
+    The result dtype follows ``values``; integer sums are always exact.
+    """
+    rows = buckets.shape[0]
+    magnitude = None                   # only the integer path needs it
+    if values.ndim == 1:
+        # One weight vector shared by every row: measure its magnitude
+        # once (cheap, length n) and tile it only for the final count.
+        if values.dtype.kind != "f":
+            magnitude = rows * _abs_sum(values)
+        values = np.tile(values, rows)
+    else:
+        values = values.ravel()
+    flat = flat_row_indices(buckets, width)
+    out = scatter_add_flat(flat, values, rows * width, magnitude)
+    return out.reshape(rows, width)
+
+
+def _abs_sum(values: np.ndarray) -> float:
+    """``sum |v|`` as a float (cast first: |int64 min| overflows)."""
+    return float(np.abs(values.astype(np.float64)).sum())
+
+
+def scatter_add_flat(flat: np.ndarray, values: np.ndarray, size: int,
+                     magnitude: float | None = None) -> np.ndarray:
+    """Bucketed sums of ``values`` over flat indices in ``[0, size)``."""
+    if flat.size == 0:
+        return np.zeros(size, dtype=values.dtype)
+    if values.dtype.kind == "f":
+        return np.bincount(flat, weights=values, minlength=size)
+    # Integer weights: bincount would sum in float64.  Exact while every
+    # partial sum fits in 2**53 (then each term and every intermediate
+    # is representable); otherwise fall back to native-int64 reduceat.
+    if magnitude is None:
+        magnitude = _abs_sum(values)
+    if magnitude < _EXACT_FLOAT_SUM:
+        summed = np.bincount(flat, weights=values, minlength=size)
+        return summed.astype(values.dtype)
+    return _scatter_add_int_exact(flat, values, size)
+
+
+def _scatter_add_int_exact(flat: np.ndarray, values: np.ndarray,
+                           size: int) -> np.ndarray:
+    """Sort + segmented reduce: exact integer sums at any magnitude."""
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    sorted_values = values[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_flat)) + 1))
+    sums = np.add.reduceat(sorted_values, starts)
+    out = np.zeros(size, dtype=values.dtype)
+    out[sorted_flat[starts]] = sums
+    return out

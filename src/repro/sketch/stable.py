@@ -107,12 +107,55 @@ class StableSketch(LinearSketch):
         return (super()._compatible(other) and self.p == other.p
                 and self.rows == other.rows)
 
+    #: Target elements per regeneration block: the Chambers–Mallows–
+    #: Stuck transform chains ~10 elementwise ops, so its temporaries
+    #: must stay cache-resident or the batched pass goes memory-bound.
+    _BLOCK_ELEMS = 16384
+
     def update_many(self, indices, deltas) -> None:
+        """Fused update: the ``(rows, n)`` coefficient block is
+        regenerated in batched counter-RNG passes (one splitmix64
+        broadcast per key block instead of ``rows`` Python-level
+        calls), the scaled products are written blockwise into one
+        slab, and a single row-wise reduction updates the counters.
+        The full-width reduction keeps the summation order identical
+        to the per-row reference, so the two paths agree bit for bit.
+        """
         idx = np.asarray(indices, dtype=np.uint64)
         dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
+        streams = np.arange(self.rows, dtype=np.uint64)
+        products = np.empty((self.rows, idx.size), dtype=np.float64)
+        block = max(256, self._BLOCK_ELEMS // self.rows)
+        for start in range(0, idx.size, block):
+            cols = slice(start, min(start + block, idx.size))
+            np.multiply(self._rng.stable_block(self.p, idx[cols], streams),
+                        dlt[cols], out=products[:, cols])
+        self.counters += products.sum(axis=1)
+
+    def _reference_update_many(self, indices, deltas) -> None:
+        """The per-row path, kept as the equivalence oracle: one
+        counter-RNG materialisation and one reduction per row.
+
+        As in :meth:`AMSSketch._reference_update_many`, the row
+        reduction is ``(coeffs * dlt).sum()`` (pairwise summation)
+        rather than the pre-fusion ``coeffs @ dlt`` (BLAS dot): the
+        stable coefficients are irrational, so the two genuinely
+        differ by reassociation ulps — a ~1e-15 relative shift in
+        counter state across the version boundary, well inside this
+        sketch's documented float tolerance (it is ``exact=False`` in
+        the engine registry).  Only the pairwise form has a batched
+        equivalent that is bit-equal per row, which is what makes the
+        fused == reference byte-identity testable at all.
+        """
+        idx = np.asarray(indices, dtype=np.uint64)
+        dlt = np.asarray(deltas, dtype=np.float64)
+        if idx.size == 0:
+            return
         for j in range(self.rows):
             coeffs = self._rng.stable(self.p, idx, stream=j)
-            self.counters[j] += float(coeffs @ dlt)
+            self.counters[j] += (coeffs * dlt).sum()
 
     def norm_estimate(self) -> float:
         """Quantile estimator of ``||x||_p``.

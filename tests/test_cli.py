@@ -82,6 +82,17 @@ class TestInProcess:
         assert "backend=process" in out
         assert "ingested 4000 updates" in out
 
+    def test_engine_transport_requires_process_backend(self, capsys):
+        assert main(["engine", "--structure", "l0", "-n", "256",
+                     "--updates", "500", "--transport", "shm"]) == 2
+        assert "requires --backend process" in capsys.readouterr().err
+
+    def test_serve_transport_requires_process_backend(self, capsys):
+        assert main(["serve", "--structure", "hh", "-n", "512",
+                     "--updates", "1000", "--batches", "2",
+                     "--transport", "pickle"]) == 2
+        assert "requires --backend process" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,260 @@
+"""The shared-memory chunk transport: shm == pickle == serial.
+
+The transport moves bytes, nothing else: for every shardable
+registered type a ``transport="shm"`` pipeline must produce state
+byte-identical to the pickle transport and the serial backend, its
+checkpoints must interoperate with every backend/transport
+combination, and the PR-2 failure contract (crash surfaces, never a
+hang; poisoned pipelines refuse to checkpoint) must hold unchanged.
+Plus unit tests for the :class:`~repro.engine.shm.SlotRing` itself.
+
+Everything spawning worker processes here runs in the CI worker lane
+under a hard timeout.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ShardedPipeline, SlotRing, WorkerCrashed
+from repro.engine.checkpoint import checkpoint as snapshot_blob
+from repro.engine.workers import ProcessPool
+from repro.sketch import CountMin, CountSketch
+
+from _engine_cases import (SHARDABLE, SHARDABLE_IDS, EngineCase,
+                           random_turnstile, states_equal)
+
+
+def _pipeline(case: EngineCase, backend: str, transport=None, universe=128,
+              shards=3, chunk=32, seed=5) -> ShardedPipeline:
+    return ShardedPipeline(lambda: case.factory(universe, seed),
+                           shards=shards, chunk_size=chunk,
+                           backend=backend, transport=transport)
+
+
+class TestSlotRing:
+    def test_roundtrip_is_exact(self):
+        ring = SlotRing(slots=3, slot_updates=64)
+        try:
+            rng = np.random.default_rng(0)
+            for slot, count in ((0, 64), (1, 1), (2, 17)):
+                indices = rng.integers(0, 1 << 30, size=count,
+                                       dtype=np.int64)
+                deltas = rng.integers(-9, 9, size=count, dtype=np.int64)
+                descriptor = ring.write(slot, indices, deltas)
+                got_idx, got_dlt = ring.read(descriptor)
+                assert np.array_equal(got_idx, indices)
+                assert np.array_equal(got_dlt, deltas)
+        finally:
+            ring.close()
+
+    def test_float_deltas_roundtrip(self):
+        ring = SlotRing(slots=1, slot_updates=16)
+        try:
+            indices = np.arange(10, dtype=np.int64)
+            deltas = np.linspace(-1.5, 2.5, 10)
+            got_idx, got_dlt = ring.read(ring.write(0, indices, deltas))
+            assert got_dlt.dtype == np.float64
+            assert np.array_equal(got_dlt, deltas)
+            assert np.array_equal(got_idx, indices)
+        finally:
+            ring.close()
+
+    def test_fits_and_validation(self):
+        ring = SlotRing(slots=2, slot_updates=8)
+        try:
+            small = np.zeros(8, dtype=np.int64)
+            big = np.zeros(9, dtype=np.int64)
+            assert ring.fits(small, small)
+            assert not ring.fits(big, big)
+        finally:
+            ring.close()
+        with pytest.raises(ValueError):
+            SlotRing(slots=0, slot_updates=8)
+        with pytest.raises(ValueError):
+            SlotRing(slots=1, slot_updates=0)
+
+    def test_close_is_idempotent(self):
+        ring = SlotRing(slots=1, slot_updates=4)
+        ring.close()
+        ring.close()
+
+
+class TestTransportValidation:
+    FACTORY = staticmethod(lambda: CountMin(64, buckets=8, rows=2, seed=1))
+
+    def test_serial_backend_rejects_transport(self):
+        with pytest.raises(ValueError, match="requires backend"):
+            ShardedPipeline(self.FACTORY, shards=2, transport="shm")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport must be"):
+            ShardedPipeline(self.FACTORY, shards=2, backend="process",
+                            transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ProcessPool([snapshot_blob(self.FACTORY())],
+                        transport="bogus")
+
+    def test_restore_validates_transport(self):
+        with ShardedPipeline(self.FACTORY, shards=2) as pipeline:
+            pipeline.ingest([1, 2], [1, 1])
+            blob = pipeline.checkpoint()
+        with pytest.raises(ValueError, match="requires backend"):
+            ShardedPipeline.restore(blob, transport="shm")
+
+    def test_default_transport_is_pickle(self):
+        with ShardedPipeline(self.FACTORY, shards=2,
+                             backend="process") as pipeline:
+            assert pipeline.transport == "pickle"
+        # Serial has no chunk transport at all — and says so.
+        serial = ShardedPipeline(self.FACTORY, shards=2)
+        assert serial.transport is None
+
+
+@pytest.mark.parametrize("case", SHARDABLE, ids=SHARDABLE_IDS)
+class TestShmMatchesPickle:
+    def test_merged_state_identical_across_transports(self, case):
+        """shm == pickle == serial, byte-identical, for every
+        shardable registered type."""
+        universe, chunk = 128, 32
+        indices, deltas = random_turnstile(universe, 4 * chunk, 21)
+
+        serial = _pipeline(case, "serial")
+        serial.ingest(indices, deltas)
+        merged_serial = serial.merged()
+
+        merged = {}
+        for transport in ("pickle", "shm"):
+            with _pipeline(case, "process", transport) as pipeline:
+                assert pipeline.transport == transport
+                pipeline.ingest(indices, deltas)
+                merged[transport] = pipeline.merged()
+
+        assert states_equal(merged["shm"], merged["pickle"], exact=True)
+        assert states_equal(merged_serial, merged["shm"], exact=True)
+
+    def test_checkpoint_interoperates_across_transports(self, case):
+        """A blob written under shm resumes under pickle/serial (and
+        back) and finishes byte-identical to the uninterrupted run."""
+        universe, chunk = 128, 32
+        indices, deltas = random_turnstile(universe, 4 * chunk, 23)
+        split = 2 * chunk
+
+        plain = _pipeline(case, "serial", seed=9)
+        plain.ingest(indices, deltas)
+
+        with _pipeline(case, "process", "shm", seed=9) as first:
+            first.ingest(indices[:split], deltas[:split])
+            blob = first.checkpoint()
+        with ShardedPipeline.restore(blob, backend="process",
+                                     transport="pickle") as resumed:
+            resumed.ingest(indices[split:], deltas[split:])
+            assert states_equal(plain.merged(), resumed.merged(),
+                                exact=True)
+        with ShardedPipeline.restore(blob, backend="process",
+                                     transport="shm") as again:
+            assert again.transport == "shm"
+            again.ingest(indices[split:], deltas[split:])
+            assert states_equal(plain.merged(), again.merged(),
+                                exact=True)
+
+
+class TestShmLifecycle:
+    FACTORY = staticmethod(lambda: CountSketch(256, m=4, rows=3, seed=2))
+
+    def test_reshard_preserves_transport(self):
+        indices, deltas = random_turnstile(256, 600, 31)
+        single = self.FACTORY()
+        single.update_many(indices, deltas)
+        with ShardedPipeline(self.FACTORY, shards=2, chunk_size=64,
+                             backend="process",
+                             transport="shm") as pipeline:
+            pipeline.ingest(indices[:300], deltas[:300])
+            pipeline.reshard(4)
+            assert pipeline.transport == "shm"
+            assert pipeline._pool.transport == "shm"
+            pipeline.ingest(indices[300:], deltas[300:])
+            assert states_equal(single, pipeline.merged(), exact=True)
+
+    def test_oversized_chunk_falls_back_to_pickle(self):
+        """A chunk larger than a slot (only reachable through direct
+        pool use) must still arrive — via the pickle path."""
+        pool = ProcessPool([snapshot_blob(self.FACTORY())],
+                           transport="shm", slot_updates=8)
+        try:
+            indices, deltas = random_turnstile(256, 100, 37)
+            pool.submit(0, indices, deltas)          # 100 > 8: fallback
+            pool.submit(0, indices[:5], deltas[:5])  # shm path
+            pool.flush()
+            twin = self.FACTORY()
+            twin.update_many(indices, deltas)
+            twin.update_many(indices[:5], deltas[:5])
+            assert states_equal(twin, pool.structures()[0], exact=True)
+        finally:
+            pool.close()
+
+    def test_scalar_delta_submit_falls_back_to_pickle(self):
+        """A broadcast (scalar) delta cannot ride a slot — the
+        descriptor carries one count for both arrays — so it must take
+        the pickle path and still broadcast correctly."""
+        pool = ProcessPool([snapshot_blob(self.FACTORY())],
+                           transport="shm", slot_updates=64)
+        try:
+            indices = np.arange(8, dtype=np.int64)
+            pool.submit(0, indices, np.int64(2))     # scalar delta
+            pool.flush()
+            twin = self.FACTORY()
+            twin.update_many(indices, np.int64(2))
+            assert states_equal(twin, pool.structures()[0], exact=True)
+        finally:
+            pool.close()
+        ring = SlotRing(slots=1, slot_updates=64)
+        try:
+            with pytest.raises(ValueError, match="equal length"):
+                ring.write(0, np.arange(8, dtype=np.int64),
+                           np.zeros(4, dtype=np.int64))
+        finally:
+            ring.close()
+
+    def test_worker_crash_surfaces_not_hangs(self):
+        """A dead consumer must raise WorkerCrashed from the slot
+        acquire loop (permits it will never release), not deadlock."""
+        indices, deltas = random_turnstile(256, 2000, 41)
+        pipeline = ShardedPipeline(self.FACTORY, shards=2, chunk_size=64,
+                                   backend="process", transport="shm")
+        try:
+            pipeline.ingest(indices, deltas)
+            pipeline.flush()
+            pipeline._pool._workers[0].process.terminate()
+            time.sleep(0.2)
+            with pytest.raises(WorkerCrashed):
+                for _ in range(64):      # enough to exhaust the slots
+                    pipeline.ingest(indices, deltas)
+                    pipeline.flush()
+            with pytest.raises((WorkerCrashed, RuntimeError)):
+                pipeline.checkpoint()
+        finally:
+            pipeline.close()
+
+    def test_engine_cli_drives_shm_transport(self, capsys):
+        from repro.cli import main
+        assert main(["engine", "--structure", "count-sketch", "-n", "512",
+                     "--updates", "4000", "--shards", "2",
+                     "--chunk", "512", "--backend", "process",
+                     "--transport", "shm"]) == 0
+        out = capsys.readouterr().out
+        assert "transport=shm" in out
+        assert "ingested 4000 updates" in out
+
+    def test_close_unlinks_segments(self):
+        pipeline = ShardedPipeline(self.FACTORY, shards=2, chunk_size=64,
+                                   backend="process", transport="shm")
+        rings = [worker.ring for worker in pipeline._pool._workers]
+        assert all(ring is not None for ring in rings)
+        pipeline.ingest([1, 2, 3], [1, 1, 1])
+        pipeline.close()
+        import multiprocessing.shared_memory as mp_shm
+        for ring in rings:
+            with pytest.raises(FileNotFoundError):
+                mp_shm.SharedMemory(name=ring.name)

@@ -559,3 +559,142 @@ class TestQueryService:
             # ... and it is still a live pipeline: keep ingesting.
             service.ingest(idx, dlt)
             assert service.refresh().epoch == 2 * idx.size
+
+
+# ---------------------------------------------------------------------------
+# Cache admission: prewarm on refresh (PR 5 satellite)
+
+
+class TestCacheHottest:
+    def test_hottest_orders_by_access_count(self):
+        cache = ResultCache(capacity=8)
+        for op, hits in (("a", 0), ("b", 3), ("c", 1)):
+            key = cache.key(7, 1, op, {})
+            cache.put(key, op)
+            for _ in range(hits):
+                cache.get(key)
+        ops = [op for op, _ in cache.hottest(7, 10)]
+        assert ops == ["b", "c", "a"]
+        assert cache.hottest(7, 1) == [("b", ())]
+
+    def test_hottest_filters_by_token(self):
+        cache = ResultCache(capacity=8)
+        cache.put(cache.key(1, 0, "mine", {}), 1)
+        cache.put(cache.key(2, 0, "theirs", {}), 2)
+        assert cache.hottest(1, 10) == [("mine", ())]
+        assert cache.hottest(3, 10) == []
+
+    def test_hottest_preserves_args_and_drops_evicted(self):
+        cache = ResultCache(capacity=2)
+        cache.put(cache.key(5, 0, "norm", {"p": 2.0}), 1)
+        cache.put(cache.key(5, 0, "point", {"index": 3}), 2)
+        cache.put(cache.key(5, 0, "top", {"count": 4}), 3)  # evicts norm
+        hot = dict(cache.hottest(5, 10))
+        assert set(hot) == {"point", "top"}
+        assert dict(hot["point"]) == {"index": 3}
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache(capacity=4)
+        key = cache.key(1, 0, "a", {})
+        cache.put(key, 1)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(key)
+        assert not cache.contains(cache.key(1, 0, "b", {}))
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+
+class TestPrewarm:
+    def test_refresh_prewarms_previous_epochs_hot_queries(self):
+        """After one epoch of queries, the next refresh precomputes
+        them: the steady query mix never misses again."""
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=4) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.query("norm", p=1.0)
+            misses_before = service.stats.cache_misses
+            service.ingest(idx[2000:], dlt[2000:])
+            service.refresh()
+            assert service.stats.prewarmed == 2
+            service.query("heavy_hitters")
+            service.query("norm", p=1.0)
+            assert service.stats.cache_misses == misses_before
+            assert service.stats.cache_hits >= 2
+
+    def test_prewarmed_answers_equal_computed_answers(self):
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=4) as warmed, \
+                QueryService(_hh_pipeline(), prewarm=0) as cold:
+            for service in (warmed, cold):
+                service.ingest(idx[:2000], dlt[:2000])
+                service.query("heavy_hitters")
+                service.ingest(idx[2000:], dlt[2000:])
+                service.refresh()
+            assert cold.stats.prewarmed == 0
+            assert np.array_equal(warmed.query("heavy_hitters"),
+                                  cold.query("heavy_hitters"))
+
+    def test_prewarm_limit_and_budget(self):
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=1) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.query("heavy_hitters")  # hottest by access count
+            service.query("norm", p=1.0)
+            service.ingest(idx[2000:], dlt[2000:])
+            service.refresh()
+            assert service.stats.prewarmed == 1
+            # the budget went to the hottest op
+            service.query("heavy_hitters")
+            assert service.stats.cache_hits >= 2
+
+    def test_prewarm_counts_in_stats_dict(self):
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=4) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.ingest(idx[2000:], dlt[2000:])
+            service.refresh()
+            report = service.stats.as_dict()
+            assert report["prewarmed"] == 1
+            assert report["prewarm_seconds"] >= 0.0
+
+    def test_prewarm_zero_disables(self):
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=0) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.ingest(idx[2000:], dlt[2000:])
+            service.refresh()
+            assert service.stats.prewarmed == 0
+
+    def test_negative_prewarm_rejected(self):
+        with pytest.raises(ValueError, match="prewarm"):
+            QueryService(_hh_pipeline(), prewarm=-1)
+
+    def test_auto_refresh_also_prewarms(self):
+        """The refresh triggered from inside query() (the policy path)
+        prewarms too — not just explicit refresh()."""
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), refresh_every=2000,
+                          prewarm=4) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.ingest(idx[2000:], dlt[2000:])
+            service.query("heavy_hitters")   # auto-refresh + prewarm
+            assert service.stats.prewarmed == 1
+            assert service.stats.cache_hits >= 1
+
+    def test_prewarm_evictions_counted_in_stats(self):
+        """Evictions caused by prewarm inserts must reach the service
+        stats just like query-time evictions do."""
+        idx, dlt = _workload()
+        with QueryService(_hh_pipeline(), prewarm=4,
+                          cache_size=1) as service:
+            service.ingest(idx[:2000], dlt[:2000])
+            service.query("heavy_hitters")
+            service.query("norm", p=1.0)   # evicts heavy_hitters
+            service.ingest(idx[2000:], dlt[2000:])
+            service.refresh()              # prewarm insert evicts again
+            assert service.stats.prewarmed >= 1
+            assert service.stats.evictions == service.router.cache.evictions
