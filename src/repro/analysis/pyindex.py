@@ -1,0 +1,185 @@
+"""A static class/method/dtype index over the package's ASTs.
+
+Several rules need whole-project structure rather than single nodes:
+R002 resolves method calls in capability lambdas against the class
+that registered them (inheritance included), R003 pairs ``update_many``
+with its oracle, R005 fingerprints serializer methods, and R006 needs
+to know which names hold *integer* numpy arrays.  This module builds
+that view once per lint run.
+
+The dtype inference is deliberately shallow: an attribute or local is
+"a known integer array" only when it is assigned directly from a numpy
+constructor with an explicit integer ``dtype=`` keyword (or rebound
+from another known name).  Anything less direct stays unknown — the
+numeric rule would rather miss a hazard than cry wolf on every array
+in the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: numpy constructors whose dtype keyword fixes the array's dtype.
+ARRAY_CTORS = {"array", "asarray", "zeros", "ones", "empty", "full",
+               "arange", "full_like", "zeros_like", "ones_like",
+               "empty_like"}
+
+_INT_DTYPES = {"int", "int8", "int16", "int32", "int64", "intp", "int_",
+               "uint8", "uint16", "uint32", "uint64", "uintp", "uint"}
+_FLOAT_DTYPES = {"float", "float16", "float32", "float64", "float_",
+                 "double", "single"}
+
+
+def dtype_kind(node: ast.expr | None) -> str | None:
+    """``"int"``/``"float"`` for a ``dtype=`` expression, else None."""
+    if node is None:
+        return None
+    name = None
+    if isinstance(node, ast.Attribute):          # np.int64
+        name = node.attr
+    elif isinstance(node, ast.Name):             # int64, int
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value                        # dtype="int64"
+    if name in _INT_DTYPES:
+        return "int"
+    if name in _FLOAT_DTYPES:
+        return "float"
+    return None
+
+
+def array_ctor_name(func: ast.expr) -> str | None:
+    """``zeros`` for ``np.zeros``/``numpy.zeros``/bare ``zeros`` calls."""
+    if isinstance(func, ast.Attribute) and func.attr in ARRAY_CTORS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in ARRAY_CTORS:
+        return func.id
+    return None
+
+
+def call_dtype_kind(call: ast.Call) -> str | None:
+    """The dtype kind an array-constructor call pins, if any."""
+    if array_ctor_name(call.func) is None:
+        # np.int64(x) / np.uint64(x) style scalar/array casts
+        if isinstance(call.func, ast.Attribute):
+            return dtype_kind(ast.Name(id=call.func.attr))
+        return None
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return dtype_kind(kw.value)
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """What the index knows about one class definition."""
+
+    name: str
+    rel: str                     # defining file, root-relative
+    lineno: int
+    bases: list[str]
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    class_attrs: set[str] = field(default_factory=set)
+    self_attrs: set[str] = field(default_factory=set)
+    attr_dtypes: dict[str, str] = field(default_factory=dict)
+    decorators: list[str] = field(default_factory=list)
+
+
+def _name_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class PyIndex:
+    """Name-keyed view of every class defined in the linted files."""
+
+    def __init__(self, files) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        for info in files:
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.ClassDef):
+                    self._add_class(info.rel, node)
+
+    def _add_class(self, rel: str, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            name=node.name, rel=rel, lineno=node.lineno,
+            bases=[b for b in map(_name_of, node.bases) if b],
+            decorators=[d for d in map(_name_of, node.decorator_list)
+                        if d])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = item
+                self._scan_self_assigns(cls, item)
+            elif isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                cls.class_attrs.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        cls.class_attrs.add(target.id)
+        self.classes[node.name] = cls
+
+    def _scan_self_assigns(self, cls: ClassInfo, func) -> None:
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    cls.self_attrs.add(target.attr)
+                    if isinstance(value, ast.Call):
+                        kind = call_dtype_kind(value)
+                        if kind is not None:
+                            cls.attr_dtypes[target.attr] = kind
+
+    # -- lookups with inheritance --------------------------------------------
+
+    def _mro(self, name: str, seen=None) -> list[ClassInfo]:
+        seen = set() if seen is None else seen
+        cls = self.classes.get(name)
+        if cls is None or name in seen:
+            return []
+        seen.add(name)
+        out = [cls]
+        for base in cls.bases:
+            out.extend(self._mro(base, seen))
+        return out
+
+    def resolve_method(self, class_name: str, method: str):
+        """The defining :class:`ast.FunctionDef`, walking bases; None."""
+        for cls in self._mro(class_name):
+            if method in cls.methods:
+                return cls.methods[method]
+        return None
+
+    def has_attribute(self, class_name: str, attr: str) -> bool:
+        """Method, class attribute or ``self.X`` assignment anywhere in
+        the class or its (indexed) bases."""
+        for cls in self._mro(class_name):
+            if (attr in cls.methods or attr in cls.class_attrs
+                    or attr in cls.self_attrs):
+                return True
+        return False
+
+
+def is_abstract_method(func: ast.FunctionDef) -> bool:
+    """A body that only raises NotImplementedError (docstring aside)."""
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) and \
+            isinstance(body[0].value, ast.Constant) and \
+            isinstance(body[0].value.value, str):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    name = exc.func if isinstance(exc, ast.Call) else exc
+    return isinstance(name, ast.Name) and name.id == "NotImplementedError"

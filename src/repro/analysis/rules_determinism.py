@@ -1,0 +1,143 @@
+"""R001 — determinism: library state paths use seeded randomness only.
+
+Every structure in this reproduction is deterministic given its seed:
+hash functions derive from :class:`~repro.hashing.prng.CounterRNG` or
+seeded ``np.random.SeedSequence`` chains, which is what makes sketches
+linear, shards mergeable byte-for-byte and checkpoints resumable.  One
+stray ``random.random()`` or unseeded ``default_rng()`` in a state
+path silently breaks shard==serial equivalence in ways only the big
+property sweeps would catch.  Wall-clock reads are the same hazard for
+replay: state must never depend on when it was computed.
+
+Flagged inside the configured ``state_paths`` subtrees:
+
+* any import or use of the stdlib ``random`` module;
+* ``np.random.default_rng()`` (or bare ``default_rng()``) *without* a
+  seed argument;
+* the legacy global-state numpy RNG (``np.random.seed`` and the
+  module-level draw functions);
+* wall-clock calls: ``time.time``/``perf_counter``/``monotonic`` and
+  their ``_ns`` variants (``from time import ...`` included).
+
+Benchmarks, tests and the CLI live outside ``state_paths`` and are
+exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import FileInfo, Rule
+
+#: Legacy global-state numpy RNG entry points (np.random.<name>).
+_NP_GLOBAL_RNG = {"seed", "random", "rand", "randn", "randint",
+                  "random_sample", "choice", "shuffle", "permutation",
+                  "uniform", "normal", "standard_normal"}
+
+_CLOCK_CALLS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+                "monotonic", "monotonic_ns", "process_time",
+                "process_time_ns"}
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+class DeterminismRule(Rule):
+    rule_id = "R001"
+    title = ("seeded randomness only in library state paths "
+             "(CounterRNG / SeedSequence), no wall-clock reads")
+    rationale = ("state must be a pure function of (seed, stream) for "
+                 "shard==serial byte equality and checkpoint replay")
+
+    def check_file(self, info: FileInfo, ctx) -> list:
+        if not ctx.in_paths(info, ctx.config.state_paths):
+            return []
+        out = []
+        random_aliases: set[str] = set()
+        time_fn_aliases: set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random":
+                        random_aliases.add(alias.asname or alias.name)
+                        out.append(self.finding(
+                            info, node.lineno,
+                            "stdlib `random` imported in a state path; "
+                            "route randomness through CounterRNG or a "
+                            "seeded np.random.SeedSequence"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    out.append(self.finding(
+                        info, node.lineno,
+                        "stdlib `random` imported in a state path; "
+                        "route randomness through CounterRNG or a "
+                        "seeded np.random.SeedSequence"))
+                elif node.module == "time":
+                    clocks = [alias.asname or alias.name
+                              for alias in node.names
+                              if alias.name in _CLOCK_CALLS]
+                    time_fn_aliases.update(clocks)
+                    if clocks:
+                        out.append(self.finding(
+                            info, node.lineno,
+                            f"wall-clock import ({', '.join(clocks)}) in "
+                            f"a state path; library state must not "
+                            f"depend on when it was computed"))
+            elif isinstance(node, ast.Call):
+                out.extend(self._check_call(info, node, random_aliases,
+                                            time_fn_aliases))
+        return out
+
+    def _check_call(self, info, node: ast.Call, random_aliases,
+                    time_fn_aliases) -> list:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return []
+        out = []
+        # unseeded default_rng() — seeded calls pass at least one arg
+        if chain[-1] == "default_rng" and not node.args \
+                and not node.keywords:
+            out.append(self.finding(
+                info, node.lineno,
+                "unseeded np.random.default_rng(): state would differ "
+                "per process; derive a generator from a seeded "
+                "SeedSequence instead"))
+        # legacy numpy global RNG: np.random.seed / np.random.rand ...
+        if len(chain) >= 3 and chain[-2] == "random" \
+                and chain[-1] in _NP_GLOBAL_RNG:
+            out.append(self.finding(
+                info, node.lineno,
+                f"numpy global-state RNG np.random.{chain[-1]}() in a "
+                f"state path; use a seeded Generator or CounterRNG"))
+        # stdlib random.X(...) via any alias of the module
+        if len(chain) == 2 and chain[0] in (random_aliases | {"random"}) \
+                and chain[0] != "np" and chain[1] not in ("SeedSequence",):
+            if chain[0] in random_aliases:
+                out.append(self.finding(
+                    info, node.lineno,
+                    f"stdlib random.{chain[1]}() in a state path; use "
+                    f"CounterRNG or a seeded Generator"))
+        # wall clocks: time.perf_counter() etc.
+        if len(chain) == 2 and chain[0] == "time" \
+                and chain[1] in _CLOCK_CALLS:
+            out.append(self.finding(
+                info, node.lineno,
+                f"wall-clock time.{chain[1]}() in a state path; "
+                f"library state must not depend on when it was "
+                f"computed"))
+        if len(chain) == 1 and chain[0] in time_fn_aliases:
+            out.append(self.finding(
+                info, node.lineno,
+                f"wall-clock {chain[0]}() in a state path; library "
+                f"state must not depend on when it was computed"))
+        return out

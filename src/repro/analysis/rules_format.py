@@ -1,0 +1,257 @@
+"""R005 — checkpoint format discipline: payload changes need a bump.
+
+A checkpoint blob is a versioned header plus state arrays collected by
+a deterministic walk (:mod:`repro.engine.checkpoint`).  Its *shape* is
+fixed by two things: each class's serializer contract (``_params()``
+keys and ``_state_arrays()`` members, dtypes included) and the
+``EngineSpec`` lambdas composites register.  Reordering an array,
+renaming a parameter or changing a dtype silently invalidates every
+checkpoint in the wild unless ``FORMAT_VERSION`` is bumped so old
+blobs are *rejected* instead of misread.
+
+This rule keeps a structural fingerprint of every payload-shaping
+definition in a committed baseline (``analysis/format_baseline.json``)
+and fails when a fingerprint drifts while ``FORMAT_VERSION`` stands
+still.  ``repro lint --baseline`` refreshes the file — and refuses on
+a dirty working tree, so a format change is always an explicit,
+reviewed commit of (code change + version bump + new baseline)
+together.
+
+Fingerprint contents, all derived statically from the ASTs:
+
+* serializer classes (anything defining both ``_params`` and
+  ``_state_arrays``): parameter key names, state-array attribute names
+  with their statically-known dtypes, and a hash of the normalised
+  ASTs of ``_params``/``_state_arrays``;
+* registry composites (every ``register_spec(EngineSpec(...))``): the
+  parameter keys built by the ``params`` lambda and a hash over the
+  payload-shaping lambdas (``params``, ``children``, ``arrays`` —
+  ``build``/``set_arrays`` only consume payloads and may evolve
+  freely);
+* the ``FORMAT_VERSION`` literal itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+
+from .model import Rule
+
+#: Schema of the baseline document itself.
+BASELINE_SCHEMA = 1
+
+_REFRESH_HINT = ("refresh the baseline with "
+                 "`PYTHONPATH=src python -m repro lint --baseline` "
+                 "after bumping FORMAT_VERSION if old checkpoints "
+                 "become unreadable")
+
+
+def _sha(*chunks: str) -> str:
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def _dict_keys(func_or_lambda) -> list[str]:
+    """Key names of ``dict(k=...)``/``{"k": ...}`` returned/produced."""
+    keys: list[str] = []
+    for node in ast.walk(func_or_lambda):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "dict":
+            keys.extend(kw.arg for kw in node.keywords
+                        if kw.arg is not None)
+        elif isinstance(node, ast.Dict):
+            keys.extend(k.value for k in node.keys
+                        if isinstance(k, ast.Constant)
+                        and isinstance(k.value, str))
+    return sorted(set(keys))
+
+
+def _self_attrs_returned(func: ast.FunctionDef) -> list[str]:
+    """``self.X`` attribute names appearing in the function (ordered)."""
+    seen: list[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" and node.attr not in seen:
+            seen.append(node.attr)
+    return seen
+
+
+def compute_fingerprints(ctx) -> tuple[dict, int | None, dict]:
+    """(entries, format_version, entry locations) for the linted tree.
+
+    ``entries`` maps a stable key (class name, or ``EngineSpec:<cls>``)
+    to its fingerprint; locations map the same keys to ``(rel, line)``
+    for precise findings.
+    """
+    entries: dict[str, dict] = {}
+    locations: dict[str, tuple[str, int]] = {}
+
+    for name, cls in sorted(ctx.index.classes.items()):
+        params = cls.methods.get("_params")
+        arrays = cls.methods.get("_state_arrays")
+        if params is None or arrays is None:
+            continue
+        members = _self_attrs_returned(arrays)
+        entries[name] = {
+            "kind": "serializer",
+            "module": cls.rel,
+            "params": _dict_keys(params),
+            "arrays": [{"attr": attr,
+                        "dtype": cls.attr_dtypes.get(attr, "unknown")}
+                       for attr in members],
+            "sha": _sha(ast.dump(params), ast.dump(arrays)),
+        }
+        locations[name] = (cls.rel, cls.lineno)
+
+    registry = ctx.package_file(ctx.config.registry_module)
+    if registry is not None:
+        for node in ast.walk(registry.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "register_spec"):
+                continue
+            spec = next((arg for arg in node.args
+                         if isinstance(arg, ast.Call)), None)
+            if spec is None:
+                continue
+            kwargs = {kw.arg: kw.value for kw in spec.keywords}
+            cls_node = kwargs.get("cls")
+            if not isinstance(cls_node, ast.Name):
+                continue
+            shaping = [ast.dump(kwargs[part])
+                       for part in ("params", "children", "arrays")
+                       if part in kwargs]
+            key = f"EngineSpec:{cls_node.id}"
+            entries[key] = {
+                "kind": "engine-spec",
+                "module": registry.rel,
+                "params": (_dict_keys(kwargs["params"])
+                           if "params" in kwargs else []),
+                "sha": _sha(*shaping),
+            }
+            locations[key] = (registry.rel, node.lineno)
+
+    version = None
+    checkpoint = ctx.package_file(ctx.config.checkpoint_module)
+    if checkpoint is not None:
+        for node in ast.walk(checkpoint.tree):
+            if isinstance(node, ast.Assign) \
+                    and any(isinstance(t, ast.Name)
+                            and t.id == "FORMAT_VERSION"
+                            for t in node.targets) \
+                    and isinstance(node.value, ast.Constant):
+                version = node.value.value
+    return entries, version, locations
+
+
+class FormatDisciplineRule(Rule):
+    rule_id = "R005"
+    title = ("checkpoint payload fingerprints match the committed "
+             "baseline unless FORMAT_VERSION was bumped")
+    rationale = ("a silently reshaped payload misreads every checkpoint "
+                 "in the wild; version bumps make old blobs fail loudly")
+
+    def check_project(self, ctx) -> list:
+        entries, version, locations = compute_fingerprints(ctx)
+        baseline_path = ctx.root / ctx.config.baseline
+        registry_rel = f"{ctx.config.package}/{ctx.config.registry_module}"
+        checkpoint_rel = \
+            f"{ctx.config.package}/{ctx.config.checkpoint_module}"
+        if version is None:
+            return [self.finding(checkpoint_rel, 1,
+                                 "FORMAT_VERSION literal not found in "
+                                 "the checkpoint module")]
+        if not baseline_path.is_file():
+            return [self.finding(
+                ctx.config.baseline, 1,
+                f"format baseline missing; {_REFRESH_HINT}")]
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return [self.finding(ctx.config.baseline, 1,
+                                 f"unreadable format baseline: {exc}")]
+
+        out = []
+        recorded_version = baseline.get("format_version")
+        if recorded_version != version:
+            out.append(self.finding(
+                checkpoint_rel, 1,
+                f"FORMAT_VERSION is {version} but the baseline records "
+                f"{recorded_version}; a version bump must land together "
+                f"with a refreshed baseline — {_REFRESH_HINT}"))
+            return out     # per-entry diffs would all be noise now
+
+        recorded = baseline.get("entries", {})
+        for key, entry in sorted(entries.items()):
+            rel, line = locations[key]
+            old = recorded.get(key)
+            if old is None:
+                out.append(self.finding(
+                    rel, line,
+                    f"{key} shapes checkpoint payloads but is not in "
+                    f"the format baseline; {_REFRESH_HINT}"))
+            elif old.get("sha") != entry["sha"]:
+                out.append(self.finding(
+                    rel, line,
+                    f"checkpoint payload fingerprint of {key} changed "
+                    f"without a FORMAT_VERSION bump "
+                    f"(params {old.get('params')} -> {entry['params']}"
+                    f"); old blobs would be misread — bump the version "
+                    f"or revert the payload shape"))
+        for key in sorted(set(recorded) - set(entries)):
+            out.append(self.finding(
+                registry_rel, 1,
+                f"{key} is in the format baseline but no longer in the "
+                f"tree; its checkpoints just became unreadable — bump "
+                f"FORMAT_VERSION and refresh the baseline"))
+        return out
+
+
+# -- baseline writing ---------------------------------------------------------
+
+
+def working_tree_dirty(root: Path) -> bool | None:
+    """True/False from ``git status``; None when git cannot answer."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=root,
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return bool(proc.stdout.strip())
+
+
+def write_baseline(ctx, allow_dirty: bool = False) -> Path:
+    """Refresh the fingerprint baseline; the explicit reviewed act.
+
+    Raises ``RuntimeError`` when the working tree has uncommitted
+    changes (unless ``allow_dirty``), so a refresh is always its own
+    reviewable diff rather than a drive-by inside a feature change.
+    """
+    if not allow_dirty:
+        dirty = working_tree_dirty(ctx.root)
+        if dirty:
+            raise RuntimeError(
+                "refusing to refresh the format baseline on a dirty "
+                "working tree: commit (or stash) first so the refresh "
+                "is an explicit reviewed act, or pass --allow-dirty "
+                "to bootstrap")
+    entries, version, _ = compute_fingerprints(ctx)
+    path = ctx.root / ctx.config.baseline
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "schema": BASELINE_SCHEMA,
+        "format_version": version,
+        "entries": entries,
+    }, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,106 @@
+"""R003 — kernel/oracle pairing: every fused write path keeps its
+reference twin and is reachable from the equivalence suite.
+
+PR 5's fused kernels are only trustworthy because every sketch kept
+the historical per-row path as ``_reference_update_many`` and
+``tests/test_kernels.py`` pins fused == reference *byte-identical*
+over adversarial batches.  A future optimisation that deletes the
+oracle (or adds a new fused sketch without wiring it into the suite)
+silently removes the only ground truth the perf work is audited
+against — exactly the drift a CI gate must catch before tests run.
+
+Checked inside the configured ``kernel_paths`` subtrees:
+
+* any class with a *concrete* ``update_many`` (bodies that only raise
+  ``NotImplementedError`` are abstract and exempt) must also define
+  ``_reference_update_many``, in the class or an indexed base;
+* any class defining ``_reference_update_many`` must be named in the
+  kernel-equivalence test files (scanned as ASTs: imported names,
+  attribute references and string constants all count), so the oracle
+  is actually exercised rather than merely present.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import FileInfo, Rule
+from .pyindex import is_abstract_method
+
+
+def _names_in(tree: ast.AST) -> set[str]:
+    """Every identifier a test file could reach a class by."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.alias):
+            names.add(node.asname or node.name.split(".")[-1])
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+class KernelOraclePairingRule(Rule):
+    rule_id = "R003"
+    title = ("fused update_many keeps its _reference_update_many oracle "
+             "and is exercised by the kernel-equivalence suite")
+    rationale = ("byte-identical fused==reference is the ground truth "
+                 "all kernel optimisation is audited against")
+
+    def check_project(self, ctx) -> list:
+        out = []
+        test_names: set[str] = set()
+        missing_suites = []
+        for rel in ctx.config.kernel_tests:
+            suite = ctx.extra_file(rel)
+            if suite is None:
+                missing_suites.append(rel)
+            else:
+                test_names |= _names_in(suite.tree)
+
+        for info in ctx.files:
+            if not ctx.in_paths(info, ctx.config.kernel_paths):
+                continue
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.ClassDef):
+                    out.extend(self._check_class(info, node, ctx,
+                                                 test_names,
+                                                 missing_suites))
+        return out
+
+    def _check_class(self, info: FileInfo, node: ast.ClassDef, ctx,
+                     test_names, missing_suites):
+        own_update = next(
+            (item for item in node.body
+             if isinstance(item, ast.FunctionDef)
+             and item.name == "update_many"), None)
+        concrete = own_update is not None \
+            and not is_abstract_method(own_update)
+        has_oracle = ctx.index.resolve_method(
+            node.name, "_reference_update_many") is not None
+        if concrete and not has_oracle:
+            yield self.finding(
+                info, own_update.lineno,
+                f"{node.name}.update_many has no "
+                f"_reference_update_many oracle; keep the per-update "
+                f"path so the equivalence suite can pin "
+                f"fused == reference byte-identical")
+        defines_oracle = any(isinstance(item, ast.FunctionDef)
+                             and item.name == "_reference_update_many"
+                             for item in node.body)
+        if defines_oracle:
+            for rel in missing_suites:
+                yield self.finding(
+                    info, node.lineno,
+                    f"kernel-equivalence suite {rel} is missing, so "
+                    f"{node.name}'s oracle is unverifiable")
+            if test_names and node.name not in test_names:
+                yield self.finding(
+                    info, node.lineno,
+                    f"{node.name} defines _reference_update_many but "
+                    f"is never named in "
+                    f"{', '.join(ctx.config.kernel_tests)}; add it to "
+                    f"the fused==reference equivalence suite")

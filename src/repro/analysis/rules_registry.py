@@ -1,0 +1,216 @@
+"""R002 — registry completeness: checkpoint and query tables agree.
+
+The engine walks structures through :class:`EngineSpec` entries and
+serves queries through the capability table; both live in
+``engine/registry.py``.  The failure mode this rule guards against is
+*silent drift*: a class registered for checkpointing whose restore
+path would drop state, or a ``register_query`` capability whose lambda
+calls a method the class no longer has (an AttributeError at query
+time, in production, instead of at diff time).
+
+The check runs twice, from independent vantage points:
+
+* **statically** — the registry module's AST is walked for
+  ``register_spec(EngineSpec(cls=...))`` and ``register_query(...)``
+  calls (simple ``for cls in (A, B):`` loops are unrolled), and every
+  ``obj.method(...)``/``obj.attr`` reference inside a capability
+  lambda is resolved against the project-wide class index (inheritance
+  included);
+* **by inspection** — ``repro.engine.registry.audit()`` runs in a
+  subprocess with the *linted tree* on ``PYTHONPATH``, so the very
+  completeness report the runtime can serve is also what CI gates on
+  (one source of truth; see the ``registry.audit`` docstring).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import subprocess
+import sys
+
+from .model import FileInfo, Rule
+
+_AUDIT_SNIPPET = (
+    "import json\n"
+    "from repro.engine import registry\n"
+    "print(json.dumps(registry.audit()))\n")
+
+
+def _loop_bindings(tree: ast.AST) -> dict[int, ast.expr]:
+    """Map ``id(Name node)`` of loop variables to their tuple elements
+    is overkill; instead return {var name -> [element names]} for
+    ``for X in (A, B, ...):`` loops over plain names."""
+    bindings: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and isinstance(node.target, ast.Name) \
+                and isinstance(node.iter, (ast.Tuple, ast.List)):
+            names = [elt.id for elt in node.iter.elts
+                     if isinstance(elt, ast.Name)]
+            if names and len(names) == len(node.iter.elts):
+                bindings[node.target.id] = names
+    return bindings
+
+
+def _call_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class RegistryCompletenessRule(Rule):
+    rule_id = "R002"
+    title = ("every checkpoint-registered class restores completely and "
+             "every query capability names an op the class implements")
+    rationale = ("capability gaps must fail at diff time, not as "
+                 "AttributeError at query time")
+
+    # -- static pass ---------------------------------------------------------
+
+    def check_project(self, ctx) -> list:
+        info = ctx.package_file(ctx.config.registry_module)
+        if info is None:
+            return [self.finding(
+                f"{ctx.config.package}/{ctx.config.registry_module}", 1,
+                "registry module not found; fix [repro-lint] "
+                "registry_module")]
+        out = list(self._static_pass(info, ctx))
+        if ctx.config.inspect:
+            out.extend(self._inspect_pass(info, ctx))
+        return out
+
+    def _static_pass(self, info: FileInfo, ctx):
+        index = ctx.index
+        loops = _loop_bindings(info.tree)
+        spec_classes: set[str] = set()
+        leaf_classes = {name for name, cls in index.classes.items()
+                        if "register" in cls.decorators}
+        query_calls = []        # (class name, op, lambda node, lineno)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == "register_spec":
+                spec_classes.update(self._spec_class(node))
+            elif name == "register_query":
+                query_calls.extend(self._query_entries(node, loops))
+
+        for cls_name, op, lam, lineno in query_calls:
+            if cls_name not in spec_classes | leaf_classes:
+                yield self.finding(
+                    info, lineno,
+                    f"query capability {op!r} registered for "
+                    f"{cls_name}, which is not checkpoint-registered "
+                    f"(snapshots could never serve it)")
+            if cls_name not in index.classes:
+                yield self.finding(
+                    info, lineno,
+                    f"query capability {op!r} targets unknown class "
+                    f"{cls_name}")
+                continue
+            for attr, kind in self._obj_references(lam):
+                if not index.has_attribute(cls_name, attr):
+                    yield self.finding(
+                        info, lineno,
+                        f"capability {op!r} for {cls_name} "
+                        f"{'calls' if kind == 'call' else 'reads'} "
+                        f"obj.{attr}, which {cls_name} does not "
+                        f"define")
+
+    def _spec_class(self, call: ast.Call):
+        for arg in call.args:
+            if isinstance(arg, ast.Call) \
+                    and _call_name(arg.func) == "EngineSpec":
+                for kw in arg.keywords:
+                    if kw.arg == "cls" and isinstance(kw.value, ast.Name):
+                        yield kw.value.id
+
+    def _query_entries(self, call: ast.Call, loops):
+        if len(call.args) < 2:
+            return
+        target, capability = call.args[0], call.args[1]
+        if not (isinstance(capability, ast.Call)
+                and _call_name(capability.func) == "QueryCapability"
+                and capability.args
+                and isinstance(capability.args[0], ast.Constant)):
+            return
+        op = capability.args[0].value
+        lam = capability.args[1] if len(capability.args) > 1 else None
+        for kw in capability.keywords:
+            if kw.arg == "run":
+                lam = kw.value
+        if isinstance(target, ast.Name) and target.id in loops:
+            names = loops[target.id]
+        elif isinstance(target, ast.Name):
+            names = [target.id]
+        else:
+            return
+        for name in names:
+            yield (name, op, lam, call.lineno)
+
+    def _obj_references(self, lam):
+        """(attr, "call"|"read") for every ``obj.attr`` in the lambda,
+        where ``obj`` is its first parameter."""
+        if not isinstance(lam, ast.Lambda) or not lam.args.args:
+            return
+        obj = lam.args.args[0].arg
+        call_funcs = {id(node.func) for node in ast.walk(lam)
+                      if isinstance(node, ast.Call)}
+        for node in ast.walk(lam):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == obj:
+                yield (node.attr,
+                       "call" if id(node) in call_funcs else "read")
+
+    # -- inspection pass -----------------------------------------------------
+
+    def _inspect_pass(self, info: FileInfo, ctx):
+        src = ctx.root / "src"
+        pythonpath = str(src if src.is_dir() else ctx.root)
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", _AUDIT_SNIPPET],
+                capture_output=True, text=True, timeout=120,
+                cwd=ctx.root, env=self._env(pythonpath))
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            yield self.finding(info, 1,
+                               f"registry inspection failed to run: {exc}")
+            return
+        if proc.returncode != 0:
+            tail = (proc.stderr or "").strip().splitlines()
+            yield self.finding(
+                info, 1,
+                "registry failed to import for inspection: "
+                + (tail[-1] if tail else f"exit {proc.returncode}"))
+            return
+        try:
+            report = json.loads(proc.stdout)
+        except json.JSONDecodeError:
+            yield self.finding(info, 1,
+                               "registry audit produced unparseable output")
+            return
+        for problem in report.get("problems", []):
+            yield self.finding(info, 1, f"audit: {problem}")
+        for name, row in sorted(report.get("types", {}).items()):
+            line = self._class_register_line(info, name)
+            for problem in row.get("problems", []):
+                yield self.finding(info, line, f"audit [{name}]: {problem}")
+
+    @staticmethod
+    def _env(pythonpath: str) -> dict:
+        import os
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (pythonpath if not existing
+                             else pythonpath + os.pathsep + existing)
+        return env
+
+    @staticmethod
+    def _class_register_line(info: FileInfo, class_name: str) -> int:
+        for idx, text in enumerate(info.lines, start=1):
+            if class_name in text:
+                return idx
+        return 1

@@ -139,6 +139,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-shards", type=int, default=8,
                        help="autoscaler shard-count ceiling")
     serve.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="check the project invariants (R001-R006) "
+                     "statically; the blocking CI gate")
+    lint.add_argument("--root", default=".",
+                      help="repository root to lint (default: cwd)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", dest="fmt",
+                      help="findings as file:line text or a JSON "
+                           "document")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(e.g. R001,R006); default: all")
+    lint.add_argument("--baseline", action="store_true",
+                      help="refresh the checkpoint-format fingerprint "
+                           "baseline instead of linting (refuses on a "
+                           "dirty working tree)")
+    lint.add_argument("--allow-dirty", action="store_true",
+                      help="with --baseline: skip the dirty-tree "
+                           "refusal (bootstrap only)")
     return parser
 
 
@@ -563,6 +583,36 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Imported lazily: the analysis package is pure stdlib but there is
+    # no reason to parse rule modules for the workload subcommands.
+    from pathlib import Path
+
+    from . import analysis
+
+    try:
+        root = Path(args.root)
+        config = analysis.LintConfig.load(root)
+        ctx = analysis.LintContext(root, config)
+        if args.baseline:
+            path = analysis.write_baseline(ctx,
+                                           allow_dirty=args.allow_dirty)
+            print(f"format baseline written: {path}")
+            return 0
+        only = (set(part.strip() for part in args.rules.split(","))
+                if args.rules else None)
+        findings = analysis.run_lint(root, config=config, only=only,
+                                     ctx=ctx)
+    except (analysis.LintError, RuntimeError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        sys.stdout.write(analysis.render_json(findings, root, config))
+    else:
+        sys.stdout.write(analysis.render_text(findings, len(ctx.files)))
+    return 1 if findings else 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -573,6 +623,7 @@ def main(argv=None) -> int:
         "space": _cmd_space,
         "engine": _cmd_engine,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

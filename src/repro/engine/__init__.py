@@ -37,15 +37,15 @@ from .workers import (BACKENDS, TRANSPORTS, ProcessPool, SerialPool,
                       WorkerCrashed, WorkerPool, build_pool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
-from .registry import (QueryCapability, UnsupportedQuery, query_algebra,
-                       query_capabilities, query_capability,
+from .registry import (QueryCapability, UnsupportedQuery, audit,
+                       query_algebra, query_capabilities, query_capability,
                        register_query)
 
 __all__ = [
     "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
     "ProcessPool", "QueryCapability", "SerialPool", "SlotRing",
     "StaleCheckpoint", "TRANSPORTS", "UnsupportedQuery", "WorkerCrashed",
-    "WorkerPool", "build_pool",
+    "WorkerPool", "build_pool", "audit",
     "checkpoint", "clone", "fresh_twin", "is_exact", "is_registered",
     "is_shardable", "map_mismatches", "merge_into", "params_of",
     "query_algebra", "query_capabilities", "query_capability",

@@ -56,6 +56,24 @@ class StaleCheckpoint(ValueError):
     """The blob was written by a different (older/newer) format version."""
 
 
+# Named defaults for the EngineSpec callbacks.  Module-level (rather
+# than inline lambdas) so completeness auditing — registry.audit() and
+# the R002 lint rule behind it — can tell "spec left the default" from
+# "spec supplied its own callback" by identity.
+
+
+def _no_children(obj) -> list:
+    return []
+
+
+def _no_arrays(obj) -> list:
+    return []
+
+
+def _no_set_arrays(obj, arrays) -> None:
+    return None
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """How the engine takes a structure apart and puts it back together.
@@ -104,10 +122,9 @@ class EngineSpec:
     cls: type
     params: Callable[[Any], dict]
     build: Callable[[dict], Any] | None = None
-    children: Callable[[Any], list] = field(default=lambda obj: [])
-    arrays: Callable[[Any], list] = field(default=lambda obj: [])
-    set_arrays: Callable[[Any, list], None] = field(
-        default=lambda obj, arrays: None)
+    children: Callable[[Any], list] = field(default=_no_children)
+    arrays: Callable[[Any], list] = field(default=_no_arrays)
+    set_arrays: Callable[[Any, list], None] = field(default=_no_set_arrays)
     merge: Callable[[Any, Any], None] | None = None
     exact: bool = True
     shardable: bool = True

@@ -18,7 +18,11 @@ structures merge correctly but reassociation can move the last ulp.
 
 from __future__ import annotations
 
+import ast
+import builtins
 import dataclasses
+import inspect
+import textwrap
 from typing import Any, Callable
 
 from ..apps.duplicates import DuplicateFinder, ShortStreamDuplicateFinder
@@ -232,18 +236,28 @@ def _set_count_median_sum(obj, arrays) -> None:
 
 
 class UnsupportedQuery(TypeError):
-    """A registered structure does not support the requested query op.
+    """A structure does not support the requested query op.
 
     Carries ``type_name`` and ``op`` so services can report the gap
-    precisely instead of burying it in an AttributeError.
+    precisely instead of burying it in an AttributeError, plus
+    ``registered`` distinguishing "known type, missing op" from "type
+    has no capability row at all" — the latter usually means a new
+    structure was checkpoint-registered without query wiring.
     """
 
-    def __init__(self, type_name: str, op: str, supported=()):
+    def __init__(self, type_name: str, op: str, supported=(),
+                 registered: bool = True):
         self.type_name = str(type_name)
         self.op = str(op)
         self.supported = tuple(sorted(supported))
-        hint = (f"; it supports: {', '.join(self.supported)}"
-                if self.supported else "; it supports no query ops")
+        self.registered = bool(registered)
+        if not self.registered:
+            hint = ("; the type has no entry in the query capability "
+                    "table at all (register_query it)")
+        elif self.supported:
+            hint = f"; it supports: {', '.join(self.supported)}"
+        else:
+            hint = "; it supports no query ops"
         super().__init__(
             f"{self.type_name} does not support the query operation "
             f"{self.op!r}{hint}")
@@ -284,10 +298,14 @@ class QueryCapability:
 #: class name -> op name -> capability.
 _QUERY_CAPS: dict[str, dict[str, QueryCapability]] = {}
 
+#: class name -> the class object itself, for audit-time inspection.
+_QUERY_CLASSES: dict[str, type] = {}
+
 
 def register_query(cls, capability: QueryCapability) -> QueryCapability:
     """Register (or replace) one query capability for a class."""
     _QUERY_CAPS.setdefault(cls.__name__, {})[capability.op] = capability
+    _QUERY_CLASSES[cls.__name__] = cls
     return capability
 
 
@@ -298,9 +316,17 @@ def query_capabilities(obj_or_cls) -> dict[str, QueryCapability]:
 
 
 def query_capability(obj_or_cls, op: str) -> QueryCapability:
-    """The capability for one op; raises :class:`UnsupportedQuery`."""
+    """The capability for one op; raises :class:`UnsupportedQuery`.
+
+    The exception is the same typed error whether the type has a
+    capability row missing this op or no row at all (unregistered
+    types set ``registered=False``) — callers never see a bare
+    ``KeyError``/``AttributeError`` for either gap.
+    """
     cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
-    row = _QUERY_CAPS.get(cls.__name__, {})
+    row = _QUERY_CAPS.get(cls.__name__)
+    if row is None:
+        raise UnsupportedQuery(cls.__name__, op, registered=False)
     capability = row.get(op)
     if capability is None:
         raise UnsupportedQuery(cls.__name__, op, supported=row)
@@ -314,6 +340,110 @@ def query_algebra() -> dict[str, str]:
         for op, capability in row.items():
             algebra.setdefault(op, capability.doc)
     return dict(sorted(algebra.items()))
+
+
+# -- completeness audit -------------------------------------------------------
+
+
+def _instance_attrs(cls: type) -> set[str]:
+    """``self.X`` attribute names assigned anywhere in the class's own
+    source, over the whole MRO (best effort; unreadable sources skip)."""
+    attrs: set[str] = set()
+    for klass in cls.__mro__:
+        try:
+            source = textwrap.dedent(inspect.getsource(klass))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def _unresolved_names(cls: type, run: Callable) -> list[str]:
+    """Names a capability lambda references that resolve nowhere.
+
+    ``co_names`` holds both the globals the lambda loads and every
+    attribute name it accesses; each must resolve against the target
+    class (methods, class attributes, ``self.X`` assignments), the
+    lambda's own globals, or builtins.  Anything left is a query that
+    would die with AttributeError/NameError at serving time.
+    """
+    code = getattr(run, "__code__", None)
+    if code is None:          # not a plain function: nothing to check
+        return []
+    known = set(dir(cls)) | _instance_attrs(cls) | set(dir(builtins))
+    known |= set(getattr(run, "__globals__", {}))
+    return sorted(set(code.co_names) - known)
+
+
+def audit() -> dict:
+    """Cross-check the checkpoint and query registries; JSON-able.
+
+    This is the *runtime* completeness report — the same one the R002
+    lint rule runs in a subprocess, so CI and a live debugging session
+    gate on one source of truth.  Returns::
+
+        {"types": {name: {"exact": ..., "shardable": ...,
+                          "queries": [...], "problems": [...]}},
+         "problems": [...]}           # registry-wide problems
+
+    An empty ``problems`` everywhere means: every checkpoint-registered
+    type pairs its state callbacks, every query-capable type is
+    checkpoint-registered, and every capability lambda only references
+    names its class (or scope) actually defines.
+    """
+    from .checkpoint import (_no_arrays, _no_set_arrays, registered_types)
+
+    report: dict = {"types": {}, "problems": []}
+    specs = registered_types()
+    for name, spec in sorted(specs.items()):
+        problems: list[str] = []
+        if spec.arrays is not _no_arrays \
+                and spec.set_arrays is _no_set_arrays:
+            problems.append(
+                "declares own state arrays but no set_arrays; restore "
+                "and clone would silently drop that state")
+        if spec.set_arrays is not _no_set_arrays \
+                and spec.arrays is _no_arrays:
+            problems.append(
+                "declares set_arrays but no arrays; restore would "
+                "never feed it state")
+        report["types"][name] = {
+            "exact": spec.exact,
+            "shardable": spec.shardable,
+            "queries": sorted(_QUERY_CAPS.get(name, {})),
+            "problems": problems,
+        }
+
+    for name, row in sorted(_QUERY_CAPS.items()):
+        if name not in specs:
+            report["problems"].append(
+                f"{name} has query capabilities but is not "
+                f"checkpoint-registered; snapshots could never serve it")
+        cls = _QUERY_CLASSES.get(name)
+        if cls is None:
+            continue
+        type_row = report["types"].get(name)
+        for op, capability in sorted(row.items()):
+            for missing in _unresolved_names(cls, capability.run):
+                problem = (f"capability {op!r} references {missing!r}, "
+                           f"which {name} does not define")
+                if type_row is not None:
+                    type_row["problems"].append(problem)
+                else:
+                    report["problems"].append(f"{name}: {problem}")
+    return report
 
 
 def _no_args(op: str, args: dict) -> None:

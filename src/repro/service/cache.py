@@ -180,4 +180,7 @@ class ServiceStats:
 
 def timer() -> float:
     """The service's default clock (separable for deterministic tests)."""
+    # repro-lint: disable=R001 -- this is the injectable wall clock for
+    # *metrics only*; no sketch or snapshot state ever depends on it,
+    # and deterministic tests swap it out wholesale.
     return time.perf_counter()

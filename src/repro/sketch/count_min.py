@@ -102,14 +102,16 @@ class CountMin(LinearSketch):
 
     def estimate(self, index: int) -> int:
         """Count-min estimate: never below ``x_i`` in strict turnstile."""
-        return int(self._row_samples(np.array([index])).min())
+        return int(self._row_samples(np.array([index],
+                                              dtype=np.int64)).min())
 
     def estimate_many(self, indices) -> np.ndarray:
         return self._row_samples(indices).min(axis=0)
 
     def estimate_median(self, index: int) -> float:
         """Count-median estimate: valid in the general update model."""
-        return float(np.median(self._row_samples(np.array([index]))))
+        return float(np.median(self._row_samples(
+            np.array([index], dtype=np.int64))))
 
     def estimate_median_many(self, indices) -> np.ndarray:
         return np.median(self._row_samples(indices), axis=0)

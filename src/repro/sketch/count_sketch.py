@@ -171,7 +171,8 @@ class CountSketch(LinearSketch):
 
     def estimate(self, index: int) -> float:
         """The point estimate ``x*_index``."""
-        return float(self.estimate_many(np.array([index]))[0])
+        return float(self.estimate_many(np.array([index],
+                                                 dtype=np.int64))[0])
 
     def estimate_many(self, indices) -> np.ndarray:
         """Point estimates for a batch of coordinates.

@@ -103,8 +103,35 @@ class L0Estimator(LinearSketch):
             # maintaining it directly, but a single np.add.at per update.
             buckets = np.zeros(self.levels, dtype=np.uint64)
             np.add.at(buckets, depth, contrib)
-            self.fingerprints[t] = self.field.add(self.fingerprints[t],
-                                                  buckets % self.field.p)
+            # Safe: contribs are field elements < p = 2^31 - 1, so the
+            # uint64 accumulation cannot wrap below 2^33 updates per
+            # batch and the single reduction equals the field sum.
+            self.fingerprints[t] = self.field.add(
+                self.fingerprints[t],
+                buckets % self.field.p)  # repro-lint: disable=R006 -- sized above
+
+    def _reference_update_many(self, indices, deltas) -> None:
+        """Per-update oracle for the fused path, byte-identical.
+
+        One field addition per (update, repetition) pair, straight into
+        the exact-depth cell.  GF(p) addition is associative and the
+        fused path's bucket accumulation stays below the uint64 wrap
+        (see ``update_many``), so both orders produce the same bytes —
+        which is exactly what ``tests/test_kernels.py`` pins.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dlt_field = self.field.reduce_signed(np.asarray(deltas,
+                                                        dtype=np.int64))
+        for pos in range(idx.size):
+            one = idx[pos:pos + 1]
+            for t in range(self.reps):
+                depth = int(self._level_of(
+                    self._level_hashes[t](one.astype(np.uint64)))[0])
+                power = _pow_many(self.field,
+                                  self._fingerprint_points[t], one)[0]
+                contrib = self.field.mul(dlt_field[pos:pos + 1], power)[0]
+                self.fingerprints[t, depth] = self.field.add(
+                    self.fingerprints[t, depth], contrib)
 
     def _suffix_fingerprints(self, rep: int) -> np.ndarray:
         """Level-k restriction fingerprints: suffix sums over exact depths."""

@@ -39,6 +39,10 @@ class LinearSketch:
     def update(self, index: int, delta) -> None:
         """Apply a single turnstile update ``x[index] += delta``."""
         self.update_many(np.array([index], dtype=np.int64),
+                         # repro-lint: disable=R006 -- delta is
+                         # intentionally polymorphic: int updates for the
+                         # exact sketches, float scaling for the Lp
+                         # pipeline; update_many casts to its state dtype.
                          np.array([delta]))
 
     def update_many(self, indices, deltas) -> None:

@@ -19,6 +19,7 @@ from repro.hashing.kwise import BucketHash, KWiseHash, SignHash, derive_rngs
 from repro.hashing.prng import CounterRNG
 from repro.sketch import AMSSketch, CountMin, CountSketch, StableSketch
 from repro.sketch.kernels import scatter_add_flat, scatter_add_rows
+from repro.sketch.l0_estimator import L0Estimator
 
 UNIVERSE = 1 << 12
 
@@ -29,6 +30,7 @@ FUSED_SKETCHES = [
                                       seed=s)),
     ("StableSketch", lambda s: StableSketch(UNIVERSE, 0.75, rows=11,
                                             seed=s)),
+    ("L0Estimator", lambda s: L0Estimator(UNIVERSE, reps=5, seed=s)),
 ]
 FUSED_IDS = [name for name, _ in FUSED_SKETCHES]
 
