@@ -1,0 +1,289 @@
+"""E-WIRE: the unified wire layer — codec throughput, delta vs full
+checkpoints, and warm-standby catch-up.
+
+Measured, on the single framed binary format every blob in the repo
+now rides (``repro.wire``):
+
+1. **Codec throughput** — MB/s through ``checkpoint``/``restore`` for
+   a loaded sketch, with and without per-section zlib.  The frame
+   codec is pure length-prefixed copies, so throughput should sit near
+   memory bandwidth uncompressed and near zlib speed compressed.
+2. **Delta vs full bytes** — a sharded leader writes one full
+   checkpoint, then delta checkpoints after interim batches of
+   increasing size.  Sketches are linear, so a delta *is* a sketch of
+   the interim stream: at low churn its zlib'd payload is mostly
+   zeros.  The report asserts the replication floor the CI smoke also
+   checks: at <= 1% state churn a delta costs <= 0.5x the full frame.
+3. **Follower catch-up** — wall-clock for a ``FollowerPipeline`` to
+   restore a base checkpoint and apply a chain of deltas, ending
+   byte-identical to the leader's merged state.
+
+Run as a script to emit a machine-readable ``BENCH_wire.json``:
+
+    PYTHONPATH=src python benchmarks/bench_wire.py
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.engine import FollowerPipeline, ShardedPipeline
+from repro.engine import checkpoint as snapshot_structure
+from repro.engine.checkpoint import checkpoint, restore
+from repro.sketch import CountMin
+
+from _common import print_table
+
+CODEC_HEADER = ["structure", "compress", "payload KB", "encode MB/s",
+                "decode MB/s"]
+
+DELTA_HEADER = ["interim updates", "state churn", "full KB", "delta KB",
+                "delta/full"]
+
+#: Interim batch sizes between the base and each delta checkpoint.
+INTERIM_UPDATES = (10, 100, 1000, 10_000)
+
+#: Bumped when the BENCH_wire.json layout changes.
+REPORT_SCHEMA = 1
+
+#: The replication floor the CI smoke re-checks from the report: at
+#: <= MAX_CHURN state churn, delta bytes <= FLOOR_RATIO * full bytes.
+MAX_CHURN = 0.01
+FLOOR_RATIO = 0.5
+
+
+def _workload(universe: int, updates: int, seed: int = 0):
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0x31BE)))
+    indices = rng.integers(0, universe, size=updates, dtype=np.int64)
+    deltas = rng.integers(1, 8, size=updates, dtype=np.int64)
+    return indices, deltas
+
+
+def _factory(universe: int, seed: int = 5):
+    buckets = min(universe, 1 << 13)
+    return lambda: CountMin(universe, buckets=buckets, rows=8, seed=seed)
+
+
+def _codec_records(universe, updates, repeats):
+    sketch = _factory(universe)()
+    indices, deltas = _workload(universe, updates)
+    sketch.update_many(indices, deltas)
+    raw_bytes = sum(a.nbytes for a in sketch._state_arrays())
+    records = []
+    for compress in ("none", "zlib"):
+        blob = checkpoint(sketch, compress=compress)
+        begin = time.perf_counter()
+        for _ in range(repeats):
+            checkpoint(sketch, compress=compress)
+        encode_s = time.perf_counter() - begin
+        begin = time.perf_counter()
+        for _ in range(repeats):
+            restore(blob)
+        decode_s = time.perf_counter() - begin
+        records.append({
+            "structure": type(sketch).__name__,
+            "compress": compress,
+            "raw_bytes": raw_bytes,
+            "payload_bytes": len(blob),
+            "encode_mb_per_s": raw_bytes * repeats / encode_s / 1e6,
+            "decode_mb_per_s": raw_bytes * repeats / decode_s / 1e6,
+        })
+    return records
+
+
+def _state_bytes(pipeline) -> np.ndarray:
+    return np.frombuffer(snapshot_structure(pipeline.merged()),
+                         dtype=np.uint8)
+
+
+def _delta_records(universe, base_updates, shards, chunk):
+    indices, deltas = _workload(universe,
+                                base_updates + sum(INTERIM_UPDATES),
+                                seed=1)
+    leader = ShardedPipeline(_factory(universe), shards=shards,
+                             chunk_size=chunk)
+    records = []
+    chain = []
+    with leader:
+        leader.ingest(indices[:base_updates], deltas[:base_updates])
+        base = leader.checkpoint(compress="zlib")
+        cursor = base_updates
+        for interim in INTERIM_UPDATES:
+            base_epoch = leader.updates_ingested
+            before = _state_bytes(leader)
+            leader.ingest(indices[cursor:cursor + interim],
+                          deltas[cursor:cursor + interim])
+            cursor += interim
+            churn = float(np.mean(before != _state_bytes(leader)))
+            chain.append(leader.checkpoint(since=base_epoch,
+                                           compress="zlib"))
+            full = leader.checkpoint(compress="zlib")
+            restored = ShardedPipeline.restore(base, shards=shards,
+                                               deltas=chain)
+            identical = bool(np.array_equal(_state_bytes(restored),
+                                            _state_bytes(leader)))
+            restored.close()
+            records.append({
+                "interim_updates": interim,
+                "churn": churn,
+                "full_bytes": len(full),
+                "delta_bytes": len(chain[-1]),
+                "ratio": len(chain[-1]) / len(full),
+                "byte_identical": identical,
+            })
+    return records
+
+
+def _follower_record(universe, updates, batches, shards, chunk):
+    indices, deltas = _workload(universe, updates, seed=2)
+    batch = updates // batches
+    leader = ShardedPipeline(_factory(universe), shards=shards,
+                             chunk_size=chunk)
+    with leader:
+        leader.ingest(indices[:batch], deltas[:batch])
+        base = leader.checkpoint(compress="zlib")
+        chain = []
+        for start in range(batch, batches * batch, batch):
+            epoch = leader.updates_ingested
+            leader.ingest(indices[start:start + batch],
+                          deltas[start:start + batch])
+            chain.append(leader.checkpoint(since=epoch))
+        begin = time.perf_counter()
+        follower = FollowerPipeline(base)
+        applied = follower.follow(chain)
+        catchup_s = time.perf_counter() - begin
+        identical = (snapshot_structure(follower.merged())
+                     == snapshot_structure(leader.merged()))
+    return {
+        "deltas": applied,
+        "base_bytes": len(base),
+        "chain_bytes": sum(len(b) for b in chain),
+        "catchup_ms": catchup_s * 1e3,
+        "deltas_per_s": applied / catchup_s,
+        "byte_identical": bool(identical),
+    }
+
+
+def codec_experiment(universe=1 << 13, updates=40_000, repeats=20):
+    return _codec_records(universe, updates, repeats)
+
+
+def delta_experiment(universe=1 << 13, base_updates=40_000, shards=4,
+                     chunk=4096):
+    return _delta_records(universe, base_updates, shards, chunk)
+
+
+def follower_experiment(universe=1 << 13, updates=40_000, batches=8,
+                        shards=4, chunk=4096):
+    return _follower_record(universe, updates, batches, shards, chunk)
+
+
+def _codec_rows(records):
+    return [[r["structure"], r["compress"],
+             f"{r['payload_bytes'] / 1e3:,.0f}",
+             f"{r['encode_mb_per_s']:,.0f}",
+             f"{r['decode_mb_per_s']:,.0f}"] for r in records]
+
+
+def _delta_rows(records):
+    return [[f"{r['interim_updates']:,}", f"{r['churn']:.2%}",
+             f"{r['full_bytes'] / 1e3:,.1f}",
+             f"{r['delta_bytes'] / 1e3:,.1f}",
+             f"{r['ratio']:.2f}"] for r in records]
+
+
+def write_report(codec, delta, follower, path: str) -> dict:
+    report = {
+        "bench": "wire",
+        "schema": REPORT_SCHEMA,
+        "cpu_count": os.cpu_count(),
+        "interim_updates": list(INTERIM_UPDATES),
+        "max_churn": MAX_CHURN,
+        "floor_ratio": FLOOR_RATIO,
+        "codec_rows": codec,
+        "delta_rows": delta,
+        "follower": follower,
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def test_codec_throughput(benchmark):
+    records = benchmark.pedantic(codec_experiment, rounds=1,
+                                 iterations=1)
+    print_table("E-WIRE: checkpoint/restore codec throughput",
+                CODEC_HEADER, _codec_rows(records))
+    for record in records:
+        assert record["encode_mb_per_s"] > 0
+        assert record["decode_mb_per_s"] > 0
+
+
+def test_delta_vs_full(benchmark):
+    records = benchmark.pedantic(delta_experiment, rounds=1,
+                                 iterations=1)
+    print_table("E-WIRE: delta vs full checkpoint bytes (both zlib)",
+                DELTA_HEADER, _delta_rows(records))
+    for record in records:
+        assert record["byte_identical"] is True
+    floor = [r for r in records if r["churn"] <= MAX_CHURN]
+    assert floor, "no low-churn row measured"
+    for record in floor:
+        assert record["ratio"] <= FLOOR_RATIO, record
+
+
+def test_follower_catchup(benchmark):
+    record = benchmark.pedantic(follower_experiment, rounds=1,
+                                iterations=1)
+    assert record["byte_identical"] is True
+    assert record["deltas_per_s"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--universe", type=int, default=1 << 13)
+    parser.add_argument("--updates", type=int, default=40_000)
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="codec timing repetitions")
+    parser.add_argument("--batches", type=int, default=8,
+                        help="follower catch-up chain length")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--chunk", type=int, default=4096)
+    parser.add_argument("--out", default="BENCH_wire.json")
+    args = parser.parse_args(argv)
+
+    codec = codec_experiment(args.universe, args.updates, args.repeats)
+    delta = delta_experiment(args.universe, args.updates, args.shards,
+                             args.chunk)
+    follower = follower_experiment(args.universe, args.updates,
+                                   args.batches, args.shards,
+                                   args.chunk)
+    report = write_report(codec, delta, follower, args.out)
+    print_table("E-WIRE: checkpoint/restore codec throughput",
+                CODEC_HEADER, _codec_rows(codec))
+    print_table("E-WIRE: delta vs full checkpoint bytes (both zlib)",
+                DELTA_HEADER, _delta_rows(delta))
+    print(f"\nfollower caught up {follower['deltas']} deltas "
+          f"({follower['chain_bytes']:,} bytes vs "
+          f"{follower['base_bytes']:,}-byte base) in "
+          f"{follower['catchup_ms']:.1f} ms; byte-identical: "
+          f"{follower['byte_identical']}")
+    low = [r for r in report["delta_rows"] if r["churn"] <= MAX_CHURN]
+    if not low or any(r["ratio"] > FLOOR_RATIO for r in low):
+        print(f"ERROR: delta checkpoints must cost <= "
+              f"{FLOOR_RATIO}x the full frame at <= {MAX_CHURN:.0%} "
+              f"churn")
+        return 1
+    if not follower["byte_identical"]:
+        print("ERROR: follower must end byte-identical to the leader")
+        return 1
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

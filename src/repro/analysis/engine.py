@@ -56,6 +56,9 @@ class LintConfig:
     #: The registry/checkpoint modules (package-relative) R002/R005 read.
     registry_module: str = "engine/registry.py"
     checkpoint_module: str = "engine/checkpoint.py"
+    #: The wire-frame module (package-relative) whose encoders R005
+    #: fingerprints against WIRE_VERSION.
+    wire_module: str = "wire/frame.py"
     #: The R005 payload-fingerprint baseline, root-relative.
     baseline: str = "src/repro/analysis/format_baseline.json"
     #: Whether R002 may import the registry in a subprocess (bool).

@@ -28,7 +28,10 @@ Fingerprint contents, all derived statically from the ASTs:
   payload-shaping lambdas (``params``, ``children``, ``arrays`` —
   ``build``/``set_arrays`` only consume payloads and may evolve
   freely);
-* the ``FORMAT_VERSION`` literal itself.
+* the ``repro.wire`` frame codec (the functions that fix the byte
+  layout every serializer now shares), gated on the ``WIRE_VERSION``
+  literal the same way the payload entries gate on ``FORMAT_VERSION``;
+* the ``FORMAT_VERSION`` and ``WIRE_VERSION`` literals themselves.
 """
 
 from __future__ import annotations
@@ -41,8 +44,16 @@ from pathlib import Path
 
 from .model import Rule
 
-#: Schema of the baseline document itself.
-BASELINE_SCHEMA = 1
+#: Schema of the baseline document itself (2 added ``wire_version``
+#: and the ``WireFormat`` codec entry).
+BASELINE_SCHEMA = 2
+
+#: Wire-module functions that fix the frame byte layout; a change to
+#: any of them reshapes every frame on disk.
+_WIRE_CODEC_FUNCTIONS = (
+    "_write_uvarint", "_read_uvarint", "_encode_section", "encode_frame",
+    "_frame_prelude", "_decode_section", "decode_frame",
+)
 
 _REFRESH_HINT = ("refresh the baseline with "
                  "`PYTHONPATH=src python -m repro lint --baseline` "
@@ -84,12 +95,12 @@ def _self_attrs_returned(func: ast.FunctionDef) -> list[str]:
     return seen
 
 
-def compute_fingerprints(ctx) -> tuple[dict, int | None, dict]:
-    """(entries, format_version, entry locations) for the linted tree.
+def compute_fingerprints(ctx) -> tuple[dict, int | None, int | None, dict]:
+    """(entries, format_version, wire_version, entry locations).
 
-    ``entries`` maps a stable key (class name, or ``EngineSpec:<cls>``)
-    to its fingerprint; locations map the same keys to ``(rel, line)``
-    for precise findings.
+    ``entries`` maps a stable key (class name, ``EngineSpec:<cls>`` or
+    ``WireFormat``) to its fingerprint; locations map the same keys to
+    ``(rel, line)`` for precise findings.
     """
     entries: dict[str, dict] = {}
     locations: dict[str, tuple[str, int]] = {}
@@ -139,17 +150,38 @@ def compute_fingerprints(ctx) -> tuple[dict, int | None, dict]:
             }
             locations[key] = (registry.rel, node.lineno)
 
+    wire = ctx.package_file(ctx.config.wire_module)
+    wire_version = None
+    if wire is not None:
+        wire_version = _module_version(wire.tree, "WIRE_VERSION")
+        codec = {node.name: node for node in ast.walk(wire.tree)
+                 if isinstance(node, ast.FunctionDef)
+                 and node.name in _WIRE_CODEC_FUNCTIONS}
+        entries["WireFormat"] = {
+            "kind": "wire-format",
+            "module": wire.rel,
+            "functions": sorted(codec),
+            "sha": _sha(*(ast.dump(codec[name])
+                          for name in sorted(codec))),
+        }
+        locations["WireFormat"] = (wire.rel, 1)
+
     version = None
     checkpoint = ctx.package_file(ctx.config.checkpoint_module)
     if checkpoint is not None:
-        for node in ast.walk(checkpoint.tree):
-            if isinstance(node, ast.Assign) \
-                    and any(isinstance(t, ast.Name)
-                            and t.id == "FORMAT_VERSION"
-                            for t in node.targets) \
-                    and isinstance(node.value, ast.Constant):
-                version = node.value.value
-    return entries, version, locations
+        version = _module_version(checkpoint.tree, "FORMAT_VERSION")
+    return entries, version, wire_version, locations
+
+
+def _module_version(tree, name: str) -> int | None:
+    """The module-level ``<name> = <literal>`` assignment, if any."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == name
+                        for t in node.targets) \
+                and isinstance(node.value, ast.Constant):
+            return node.value.value
+    return None
 
 
 class FormatDisciplineRule(Rule):
@@ -160,15 +192,21 @@ class FormatDisciplineRule(Rule):
                  "in the wild; version bumps make old blobs fail loudly")
 
     def check_project(self, ctx) -> list:
-        entries, version, locations = compute_fingerprints(ctx)
+        entries, version, wire_version, locations = \
+            compute_fingerprints(ctx)
         baseline_path = ctx.root / ctx.config.baseline
         registry_rel = f"{ctx.config.package}/{ctx.config.registry_module}"
         checkpoint_rel = \
             f"{ctx.config.package}/{ctx.config.checkpoint_module}"
+        wire_rel = f"{ctx.config.package}/{ctx.config.wire_module}"
         if version is None:
             return [self.finding(checkpoint_rel, 1,
                                  "FORMAT_VERSION literal not found in "
                                  "the checkpoint module")]
+        if "WireFormat" in entries and wire_version is None:
+            return [self.finding(wire_rel, 1,
+                                 "WIRE_VERSION literal not found in "
+                                 "the wire module")]
         if not baseline_path.is_file():
             return [self.finding(
                 ctx.config.baseline, 1,
@@ -188,6 +226,15 @@ class FormatDisciplineRule(Rule):
                 f"{recorded_version}; a version bump must land together "
                 f"with a refreshed baseline — {_REFRESH_HINT}"))
             return out     # per-entry diffs would all be noise now
+        if "WireFormat" in entries \
+                and baseline.get("wire_version") != wire_version:
+            out.append(self.finding(
+                wire_rel, 1,
+                f"WIRE_VERSION is {wire_version} but the baseline "
+                f"records {baseline.get('wire_version')}; a version "
+                f"bump must land together with a refreshed baseline — "
+                f"{_REFRESH_HINT}"))
+            return out
 
         recorded = baseline.get("entries", {})
         for key, entry in sorted(entries.items()):
@@ -199,13 +246,23 @@ class FormatDisciplineRule(Rule):
                     f"{key} shapes checkpoint payloads but is not in "
                     f"the format baseline; {_REFRESH_HINT}"))
             elif old.get("sha") != entry["sha"]:
-                out.append(self.finding(
-                    rel, line,
-                    f"checkpoint payload fingerprint of {key} changed "
-                    f"without a FORMAT_VERSION bump "
-                    f"(params {old.get('params')} -> {entry['params']}"
-                    f"); old blobs would be misread — bump the version "
-                    f"or revert the payload shape"))
+                if key == "WireFormat":
+                    out.append(self.finding(
+                        rel, line,
+                        "the wire frame codec changed without a "
+                        "WIRE_VERSION bump; every frame on disk would "
+                        "be misread — bump WIRE_VERSION (readers "
+                        "reject other versions loudly) or revert the "
+                        "codec change"))
+                else:
+                    out.append(self.finding(
+                        rel, line,
+                        f"checkpoint payload fingerprint of {key} "
+                        f"changed without a FORMAT_VERSION bump "
+                        f"(params {old.get('params')} -> "
+                        f"{entry['params']}); old blobs would be "
+                        f"misread — bump the version or revert the "
+                        f"payload shape"))
         for key in sorted(set(recorded) - set(entries)):
             out.append(self.finding(
                 registry_rel, 1,
@@ -246,12 +303,13 @@ def write_baseline(ctx, allow_dirty: bool = False) -> Path:
                 "working tree: commit (or stash) first so the refresh "
                 "is an explicit reviewed act, or pass --allow-dirty "
                 "to bootstrap")
-    entries, version, _ = compute_fingerprints(ctx)
+    entries, version, wire_version, _ = compute_fingerprints(ctx)
     path = ctx.root / ctx.config.baseline
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps({
         "schema": BASELINE_SCHEMA,
         "format_version": version,
+        "wire_version": wire_version,
         "entries": entries,
     }, indent=2, sort_keys=True) + "\n")
     return path

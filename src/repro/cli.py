@@ -13,6 +13,7 @@ Commands
 ``space``       print the space table for a structure across n
 ``engine``      sharded ingestion: partition, checkpoint/resume, merge
 ``serve``       snapshot-isolated query service over a live stream
+``follow``      leader/follower replication over a delta stream
 """
 
 from __future__ import annotations
@@ -90,6 +91,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="K",
                         help="shard count to reshard to "
                              "(default: 2 * --shards)")
+    engine.add_argument("--checkpoint-format", choices=["full", "delta"],
+                        default="full",
+                        help="checkpoint demo variant: one full "
+                             "checkpoint, or a full base plus a delta "
+                             "of the interim updates (restored as "
+                             "base + delta chain)")
+    engine.add_argument("--compress", choices=["none", "zlib"],
+                        default=None,
+                        help="per-section frame compression (default: "
+                             "none for full checkpoints, zlib for "
+                             "deltas)")
     engine.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
@@ -138,7 +150,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             "watermark before acting")
     serve.add_argument("--max-shards", type=int, default=8,
                        help="autoscaler shard-count ceiling")
+    serve.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                       help="write a final pipeline checkpoint frame "
+                            "to this file before shutdown")
+    serve.add_argument("--compress", choices=["none", "zlib"],
+                       default=None,
+                       help="per-section compression of the "
+                            "--checkpoint-out frame (default none)")
     serve.add_argument("--seed", type=int, default=0)
+
+    follow = sub.add_parser(
+        "follow", help="leader/follower replication: tail a base + "
+                       "delta checkpoint stream into a warm standby, "
+                       "verify byte-identity, promote it")
+    follow.add_argument("--structure",
+                        choices=["count-sketch", "l0", "l1", "hh"],
+                        default="l0")
+    follow.add_argument("-n", "--universe", type=int, default=4096)
+    follow.add_argument("--updates", type=int, default=50_000)
+    follow.add_argument("--batches", type=int, default=8,
+                        help="leader batches; the first emits the full "
+                             "base checkpoint, each later one a delta")
+    follow.add_argument("--shards", type=int, default=4)
+    follow.add_argument("--chunk", type=int, default=4096)
+    follow.add_argument("--compress", choices=["none", "zlib"],
+                        default=None,
+                        help="delta-frame compression (default zlib)")
+    follow.add_argument("--stream", default=None, metavar="PATH",
+                        help="write the base+delta stream to this file "
+                             "(default: a temporary file)")
+    follow.add_argument("--seed", type=int, default=0)
 
     lint = sub.add_parser(
         "lint", help="check the project invariants (R001-R006) "
@@ -287,6 +328,11 @@ def _cmd_engine(args) -> int:
         print("error: --transport requires --backend process",
               file=sys.stderr)
         return 2
+    if args.reshard_at is not None and args.checkpoint_format != "full":
+        print("error: --checkpoint-format delta needs the "
+              "checkpoint/restore demo (drop --reshard-at)",
+              file=sys.stderr)
+        return 2
 
     n = args.universe
     rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0xE17)))
@@ -341,6 +387,32 @@ def _cmd_engine(args) -> int:
               f"update {at} in {reshard_ms:.1f} ms) "
               f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} "
               f"updates/s")
+    elif args.checkpoint_format == "delta":
+        # base at a quarter, delta of the next quarter, restore from
+        # base + delta (byte-identical to a full checkpoint at half)
+        half = ((args.updates // 2 // args.chunk) * args.chunk
+                or args.updates // 2)
+        quarter = ((half // 2 // args.chunk) * args.chunk or half // 2)
+        start = time.perf_counter()
+        pipeline.ingest(indices[:quarter], deltas[:quarter])
+        base = pipeline.checkpoint(compress=args.compress)
+        base_epoch = pipeline.updates_ingested
+        pipeline.ingest(indices[quarter:half], deltas[quarter:half])
+        delta = pipeline.checkpoint(since=base_epoch,
+                                    compress=args.compress)
+        pipeline.close()
+        pipeline = ShardedPipeline.restore(base, backend=args.backend,
+                                           transport=args.transport,
+                                           deltas=[delta])
+        pipeline.ingest(indices[half:], deltas[half:])
+        pipeline.flush()           # count applied updates, not queued ones
+        elapsed = time.perf_counter() - start
+        print(f"ingested {pipeline.updates_ingested} updates "
+              f"(base at {base_epoch}: {len(base)} bytes; delta to "
+              f"{half}: {len(delta)} bytes = "
+              f"{len(delta) / max(1, len(base)):.2%} of the base) "
+              f"in {elapsed:.3f}s = {args.updates / elapsed:,.0f} "
+              f"updates/s")
     else:
         # snapshot on a chunk boundary when possible; for short streams
         # fall back to mid-stream so the checkpoint always carries state
@@ -348,7 +420,7 @@ def _cmd_engine(args) -> int:
                 or args.updates // 2)
         start = time.perf_counter()
         pipeline.ingest(indices[:half], deltas[:half])
-        blob = pipeline.checkpoint()
+        blob = pipeline.checkpoint(compress=args.compress)
         pipeline.close()
         pipeline = ShardedPipeline.restore(blob, backend=args.backend,
                                            transport=args.transport)
@@ -580,7 +652,108 @@ def _cmd_serve(args) -> int:
               f"ingested {stats.ingest_updates} updates; "
               f"reshards: {stats.reshards} "
               f"(final K={svc.pipeline.shards})")
+        if args.transport == "shm":
+            print(f"shm fallbacks: {stats.shm_fallbacks} chunks rode "
+                  f"the pickle path")
+        if args.checkpoint_out is not None:
+            blob = svc.pipeline.checkpoint(
+                compress=args.compress or "none")
+            with open(args.checkpoint_out, "wb") as out:
+                out.write(blob)
+            print(f"checkpoint written: {args.checkpoint_out} "
+                  f"({len(blob)} bytes, epoch "
+                  f"{svc.pipeline.updates_ingested})")
     return 0
+
+
+def _cmd_follow(args) -> int:
+    """Leader/follower replication demo: the leader ingests in
+    batches, writing one full checkpoint then a delta frame per batch
+    to a stream file; a follower tails the file, is verified
+    byte-identical to the leader at the final epoch, and is promoted
+    to a live pipeline that answers a query."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.core import L0Sampler, L1Sampler
+    from repro.apps.heavy_hitters import CountMedianHeavyHitters
+    from repro.sketch import CountSketch
+    from repro.engine import FollowerPipeline, ShardedPipeline
+    from repro.engine.checkpoint import checkpoint as snapshot_structure
+
+    n = args.universe
+    factories = {
+        "count-sketch": lambda: CountSketch(n, m=32, rows=9,
+                                            seed=args.seed),
+        "l0": lambda: L0Sampler(n, delta=0.1, seed=args.seed),
+        "l1": lambda: L1Sampler(n, eps=0.5, seed=args.seed, rounds=4),
+        "hh": lambda: CountMedianHeavyHitters(n, phi=0.1, seed=args.seed,
+                                              strict=False),
+    }
+    rng = np.random.default_rng(np.random.SeedSequence((args.seed, 0xF0)))
+    indices = rng.integers(0, n, size=args.updates, dtype=np.int64)
+    deltas = rng.integers(-3, 10, size=args.updates, dtype=np.int64)
+    hot = rng.choice(n, size=3, replace=False)
+    hot_mask = rng.random(args.updates) < 0.15
+    indices[hot_mask] = rng.choice(hot, size=int(hot_mask.sum()))
+    deltas[hot_mask] = np.abs(deltas[hot_mask]) + 1
+
+    batch = max(1, args.updates // args.batches)
+    path = (Path(args.stream) if args.stream is not None
+            else Path(tempfile.mkstemp(prefix="repro-follow-",
+                                       suffix=".wire")[1]))
+    leader = ShardedPipeline(factories[args.structure],
+                             shards=args.shards, chunk_size=args.chunk)
+    print(f"leader: {args.structure} x {args.shards} shards over n={n}; "
+          f"stream: {path}")
+
+    # Batch 0 seeds the stream with the full base checkpoint; every
+    # later batch appends one delta frame, which the follower tails.
+    leader.ingest(indices[:batch], deltas[:batch])
+    base = leader.checkpoint()
+    last_epoch = leader.updates_ingested
+    path.write_bytes(base)
+    follower = FollowerPipeline(base)
+    offset = len(base)              # the delta tail starts after the base
+    delta_bytes = 0
+    applied_total = 0
+    for start in range(batch, args.updates, batch):
+        stop = min(start + batch, args.updates)
+        leader.ingest(indices[start:stop], deltas[start:stop])
+        frame = leader.checkpoint(since=last_epoch,
+                                  compress=args.compress)
+        last_epoch = leader.updates_ingested
+        with open(path, "ab") as out:
+            out.write(frame)
+        delta_bytes += len(frame)
+        applied, offset = follower.follow_file(path, offset)
+        applied_total += applied
+    identical = (snapshot_structure(follower.merged())
+                 == snapshot_structure(leader.merged()))
+    print(f"follower applied {applied_total} deltas "
+          f"({delta_bytes} bytes vs {len(base)}-byte base) and sits at "
+          f"epoch {follower.epoch}/{leader.updates_ingested}")
+    print(f"byte-identical to leader merged(): {identical}")
+    promoted = follower.promote()
+    merged = promoted.merged()
+    leader.close()
+    promoted.close()
+    if args.structure in ("l0", "l1"):
+        result = merged.sample()
+        answer = (f"FAIL ({result.reason})" if result.failed
+                  else f"i={result.index} x_i~{result.estimate:.1f}")
+        print(f"promoted sample: {answer}")
+    elif args.structure == "hh":
+        hitters = merged.heavy_hitters()
+        print(f"promoted heavy hitters: {hitters.tolist()[:10]}"
+              f"{' ...' if hitters.size > 10 else ''}")
+    else:
+        idx, val = merged.best_sparse_approximation(sparsity=5)
+        print("promoted top-5 estimates: "
+              + ", ".join(f"x[{i}]~{v:.0f}" for i, v in zip(idx, val)))
+    if args.stream is None:
+        path.unlink(missing_ok=True)
+    return 0 if identical else 1
 
 
 def _cmd_lint(args) -> int:
@@ -623,6 +796,7 @@ def main(argv=None) -> int:
         "space": _cmd_space,
         "engine": _cmd_engine,
         "serve": _cmd_serve,
+        "follow": _cmd_follow,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

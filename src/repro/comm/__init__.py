@@ -2,7 +2,8 @@
 
 from .augmented_indexing import (AugmentedIndexingInstance, random_instance
                                  as random_ai_instance, referee)
-from .protocol import ProtocolResult, information_floor_bits
+from .protocol import (ProtocolResult, frame_bits, information_floor_bits,
+                       message_frame)
 from .reductions import (augmented_indexing_via_heavy_hitters,
                          augmented_indexing_via_ur, decode_ai_from_ur_index,
                          duplicates_protocol_for_ur, hh_vectors_from_ai,
@@ -14,7 +15,8 @@ from .universal_relation import (URInstance, deterministic_protocol,
 
 __all__ = [
     "AugmentedIndexingInstance", "random_ai_instance", "referee",
-    "ProtocolResult", "information_floor_bits",
+    "ProtocolResult", "frame_bits", "information_floor_bits",
+    "message_frame",
     "augmented_indexing_via_heavy_hitters", "augmented_indexing_via_ur",
     "decode_ai_from_ur_index", "duplicates_protocol_for_ur",
     "hh_vectors_from_ai", "sampler_finds_duplicate", "ur_vectors_from_ai",

@@ -6,15 +6,41 @@ target problem yields a protocol for augmented indexing, whose one-way
 cost is Omega((1-delta) m log k).  To "reproduce" a lower bound we run
 the reduction forward: build the hard instance, run our actual
 streaming structures as the protocol messages, *measure the message
-size in bits* (the space of the transmitted sketch, in the same
-accounting as everything else), and verify the decoding succeeds at the
-claimed rate.  The benchmarks then compare measured message sizes with
-the information-theoretic floor.
+size in bits*, and verify the decoding succeeds at the claimed rate.
+The benchmarks then compare measured message sizes with the
+information-theoretic floor.
+
+Message sizes are measured on the actual encoded bytes that would
+cross the channel — :func:`message_frame` serializes the transmitted
+structure through the unified wire layer (``repro.wire``) and
+:func:`frame_bits` is eight times that length.  The older model-space
+accounting (:func:`repro.space.accounting.bits_of`, counter widths
+with no framing overhead) stays available and the protocols record it
+in ``meta`` so benches can report both.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+def message_frame(structure) -> bytes:
+    """The bytes this structure would occupy on the channel.
+
+    Uses the structure's own ``to_bytes`` (sketches serialize
+    themselves) when present, otherwise the engine's structure
+    checkpoint — both are frames of the same wire format.
+    """
+    to_bytes = getattr(structure, "to_bytes", None)
+    if callable(to_bytes):
+        return to_bytes()
+    from ..engine.checkpoint import checkpoint
+    return checkpoint(structure)
+
+
+def frame_bits(structure) -> int:
+    """Measured one-way cost: bits of the actual encoded frame."""
+    return 8 * len(message_frame(structure))
 
 
 @dataclass

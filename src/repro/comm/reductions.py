@@ -18,7 +18,7 @@ from ..apps.duplicates import DuplicateFinder
 from ..apps.heavy_hitters import CountSketchHeavyHitters
 from ..space.accounting import bits_of
 from .augmented_indexing import AugmentedIndexingInstance
-from .protocol import ProtocolResult
+from .protocol import ProtocolResult, frame_bits
 from .universal_relation import URInstance, symmetrize
 
 
@@ -116,6 +116,7 @@ def duplicates_protocol_for_ur(instance: URInstance, seed: int = 0,
                                                           seed=att_seed)
 
     total_bits = 0
+    model_total = 0
     chosen: ProtocolResult | None = None
     seeds = np.random.SeedSequence((seed, 0x77)).generate_state(attempts)
     for attempt, att_seed in enumerate(int(s) for s in seeds):
@@ -126,7 +127,8 @@ def duplicates_protocol_for_ur(instance: URInstance, seed: int = 0,
         finder = finder_factory(att_seed)
         # Relabel [2n] -> [n] through the rank inside P (shared knowledge).
         finder.process_items(np.searchsorted(p_set, s_in_p))
-        total_bits += bits_of(finder)
+        total_bits += frame_bits(finder)
+        model_total += bits_of(finder)
         if chosen is not None:
             continue  # later attempts still transmit (parallel one-way)
         needed = n + 1 - s_in_p.size
@@ -143,8 +145,10 @@ def duplicates_protocol_for_ur(instance: URInstance, seed: int = 0,
                                       "attempt": attempt})
     if chosen is None:
         return ProtocolResult(None, [total_bits],
-                              meta={"reason": "all-attempts-failed"})
+                              meta={"reason": "all-attempts-failed",
+                                    "model_bits": model_total})
     chosen.message_bits = [total_bits]
+    chosen.meta["model_bits"] = model_total
     return chosen
 
 
@@ -168,11 +172,13 @@ def sampler_finds_duplicate(instance: URInstance, sampler_factory,
     nz = np.flatnonzero(vector)
     if nz.size:
         sampler.update_many(nz, vector[nz])
-    bits = bits_of(sampler)
+    bits = frame_bits(sampler)
+    model_bits = bits_of(sampler)
     result = sampler.sample()
     output = None if result.failed else result.index
     return ProtocolResult(output, [bits],
-                          meta={"estimate": result.estimate})
+                          meta={"estimate": result.estimate,
+                                "model_bits": model_bits})
 
 
 # -- Theorem 9: augmented indexing -> heavy hitters --------------------------------
@@ -218,17 +224,20 @@ def augmented_indexing_via_heavy_hitters(
     algorithm = hh_factory()
     nz = np.flatnonzero(u)
     algorithm.update_many(nz, u[nz])
-    message_bits = bits_of(algorithm)
+    message_bits = frame_bits(algorithm)
+    model_bits = bits_of(algorithm)
     nzv = np.flatnonzero(v)
     if nzv.size:
         algorithm.update_many(nzv, -v[nzv])
     reported = algorithm.heavy_hitters()
     if reported.size == 0:
         return ProtocolResult(None, [message_bits],
-                              meta={"reason": "empty-set"})
+                              meta={"reason": "empty-set",
+                                    "model_bits": model_bits})
     k = instance.alphabet
     smallest = int(reported.min())
     block, offset = divmod(smallest, k)
     answer = offset if block == instance.index else None
     return ProtocolResult(answer, [message_bits],
-                          meta={"block": block, "set_size": reported.size})
+                          meta={"block": block, "set_size": reported.size,
+                                "model_bits": model_bits})

@@ -30,7 +30,7 @@ import numpy as np
 from ..core.l0_sampler import L0Sampler
 from ..recovery.one_sparse import OneSparseDetector
 from ..space.accounting import bits_of
-from .protocol import ProtocolResult
+from .protocol import ProtocolResult, frame_bits
 
 
 @dataclass(frozen=True)
@@ -78,7 +78,8 @@ def one_round_protocol(instance: URInstance, delta: float = 0.25,
     nz = np.flatnonzero(x)
     if nz.size:
         sampler.update_many(nz, x[nz])
-    message_bits = bits_of(sampler)
+    message_bits = frame_bits(sampler)    # the encoded frame that ships
+    model_bits = bits_of(sampler)         # framing-free model accounting
     # --- the sketch crosses the channel; Bob continues it with -y ---
     y = np.asarray(instance.y, dtype=np.int64)
     nzy = np.flatnonzero(y)
@@ -87,7 +88,8 @@ def one_round_protocol(instance: URInstance, delta: float = 0.25,
     result = sampler.sample()
     output = None if result.failed else result.index
     return ProtocolResult(output, [message_bits],
-                          meta={"sampler_reason": result.reason})
+                          meta={"sampler_reason": result.reason,
+                                "model_bits": model_bits})
 
 
 def two_round_protocol(instance: URInstance, delta: float = 0.25,
@@ -113,7 +115,8 @@ def two_round_protocol(instance: URInstance, delta: float = 0.25,
     nzy = np.flatnonzero(y)
     if nzy.size:
         estimator.update_many(nzy, -y[nzy])
-    round1_bits = bits_of(estimator)
+    round1_bits = frame_bits(estimator)
+    model_bits = bits_of(estimator)
     nzx = np.flatnonzero(x)
     if nzx.size:
         estimator.update_many(nzx, x[nzx])
@@ -131,7 +134,8 @@ def two_round_protocol(instance: URInstance, delta: float = 0.25,
         sel = np.flatnonzero(x * mask)
         if sel.size:
             battery[b].update_many(sel, x[sel])
-    round2_bits = sum(bits_of(det) for det in battery) + detectors * 64
+    round2_bits = sum(frame_bits(det) for det in battery) + detectors * 64
+    model_bits += sum(bits_of(det) for det in battery) + detectors * 64
     # Bob: subtract his restricted y and decode.
     output = None
     for b in range(detectors):
@@ -143,7 +147,8 @@ def two_round_protocol(instance: URInstance, delta: float = 0.25,
             output = verdict.index
             break
     return ProtocolResult(output, [round1_bits, round2_bits],
-                          meta={"d_estimate": d_estimate})
+                          meta={"d_estimate": d_estimate,
+                                "model_bits": model_bits})
 
 
 def deterministic_protocol(instance: URInstance, seed: int = 0

@@ -31,7 +31,10 @@ from .checkpoint import (FORMAT_VERSION, EngineSpec, IncompatibleShards,
                          map_mismatches, merge_into, params_of,
                          registered_types, register_linear_sketch,
                          register_spec, restore, state_arrays)
-from .pipeline import ShardedPipeline
+from .delta import (DeltaError, OutOfOrderDelta, WrongBaseDelta,
+                    state_digest)
+from .follower import FollowerPipeline
+from .pipeline import DELTA_BASE_RETENTION, ShardedPipeline
 from .shm import SlotRing
 from .workers import (BACKENDS, TRANSPORTS, ProcessPool, SerialPool,
                       WorkerCrashed, WorkerPool, build_pool)
@@ -42,13 +45,15 @@ from .registry import (QueryCapability, UnsupportedQuery, audit,
                        register_query)
 
 __all__ = [
-    "BACKENDS", "FORMAT_VERSION", "EngineSpec", "IncompatibleShards",
-    "ProcessPool", "QueryCapability", "SerialPool", "SlotRing",
-    "StaleCheckpoint", "TRANSPORTS", "UnsupportedQuery", "WorkerCrashed",
-    "WorkerPool", "build_pool", "audit",
+    "BACKENDS", "DELTA_BASE_RETENTION", "DeltaError", "FORMAT_VERSION",
+    "EngineSpec", "FollowerPipeline", "IncompatibleShards",
+    "OutOfOrderDelta", "ProcessPool", "QueryCapability", "SerialPool",
+    "SlotRing", "StaleCheckpoint", "TRANSPORTS", "UnsupportedQuery",
+    "WorkerCrashed", "WorkerPool", "WrongBaseDelta", "build_pool", "audit",
     "checkpoint", "clone", "fresh_twin", "is_exact", "is_registered",
     "is_shardable", "map_mismatches", "merge_into", "params_of",
     "query_algebra", "query_capabilities", "query_capability",
     "registered_types", "register_linear_sketch", "register_query",
-    "register_spec", "restore", "state_arrays", "ShardedPipeline",
+    "register_spec", "restore", "state_arrays", "state_digest",
+    "ShardedPipeline",
 ]

@@ -42,10 +42,18 @@ from typing import Any, Callable
 
 import numpy as np
 
-#: Bump when the wire layout changes; restore() rejects other versions.
-FORMAT_VERSION = 2
+from ..wire import KIND_STRUCTURE, WireError, decode_frame, encode_frame
 
+#: Bump when the checkpoint payload changes; restore() rejects other
+#: versions.  3 = repro.wire frames (2 was the zip-of-npz layout, still
+#: readable for one release via the legacy reader).
+FORMAT_VERSION = 3
+
+#: Magic of the retired format-2 encoder, kept for the legacy reader.
 _MAGIC = b"RPROCK"
+
+#: Last format still readable by the legacy (zip-of-npz) reader.
+_LEGACY_FORMAT = 2
 
 
 class IncompatibleShards(ValueError):
@@ -271,19 +279,16 @@ def fresh_twin(obj):
 # -- checkpoint / restore ----------------------------------------------------
 
 
-def checkpoint(obj) -> bytes:
-    """Snapshot a registered structure to a self-describing byte blob."""
-    header = json.dumps({
+def checkpoint(obj, compress: str = "none") -> bytes:
+    """Snapshot a registered structure to a ``KIND_STRUCTURE`` wire
+    frame (``compress="zlib"`` deflates every array section)."""
+    header = {
         "format": FORMAT_VERSION,
         "class": type(obj).__name__,
         "params": params_of(obj),
-    }).encode("utf-8")
-    buffer = io.BytesIO()
-    arrays = {f"a{i}": np.asarray(arr)
-              for i, arr in enumerate(state_arrays(obj))}
-    np.savez(buffer, **arrays)
-    payload = buffer.getvalue()
-    return _MAGIC + len(header).to_bytes(4, "big") + header + payload
+    }
+    arrays = [np.asarray(arr) for arr in state_arrays(obj)]
+    return encode_frame(KIND_STRUCTURE, header, arrays, compress=compress)
 
 
 def restore(data: bytes):
@@ -291,10 +296,38 @@ def restore(data: bytes):
 
     Raises :class:`StaleCheckpoint` when the blob was written by a
     different format version, and ``ValueError`` for garbage input,
-    unknown classes or state/shape mismatches.
+    unknown classes or state/shape mismatches.  Format-2 (``RPROCK``
+    zip-of-npz) blobs from the previous release restore via the legacy
+    reader.
     """
-    if data[:len(_MAGIC)] != _MAGIC:
-        raise ValueError("not an engine checkpoint (bad magic)")
+    if bytes(data[:len(_MAGIC)]) == _MAGIC:
+        return _restore_legacy(data)
+    try:
+        frame = decode_frame(data, expect_kind=KIND_STRUCTURE)
+    except WireError as exc:
+        raise ValueError(f"not an engine checkpoint: {exc}") from exc
+    header = frame.header
+    version = header.get("format")
+    if version != FORMAT_VERSION:
+        raise StaleCheckpoint(
+            f"checkpoint format {version!r} is not supported "
+            f"(this build reads format {FORMAT_VERSION})")
+    return _seat_checkpoint(header, frame.sections)
+
+
+def _seat_checkpoint(header: dict, loaded: list):
+    instance = build_twin(header["class"], header["params"])
+    expected = state_arrays(instance)
+    if len(loaded) != len(expected):
+        raise ValueError(
+            f"state array count mismatch: checkpoint has {len(loaded)}, "
+            f"{header['class']} expects {len(expected)}")
+    _load_state(instance, loaded)
+    return instance
+
+
+def _restore_legacy(data: bytes):
+    """One-release reader for format-2 ``RPROCK`` (zip-of-npz) blobs."""
     offset = len(_MAGIC)
     header_len = int.from_bytes(data[offset:offset + 4], "big")
     offset += 4
@@ -306,11 +339,11 @@ def restore(data: bytes):
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ValueError(f"corrupt checkpoint header: {exc}") from exc
     version = header.get("format")
-    if version != FORMAT_VERSION:
+    if version != _LEGACY_FORMAT:
         raise StaleCheckpoint(
             f"checkpoint format {version!r} is not supported "
-            f"(this build reads format {FORMAT_VERSION})")
-    instance = build_twin(header["class"], header["params"])
+            f"(this build reads format {FORMAT_VERSION} and legacy "
+            f"format {_LEGACY_FORMAT})")
     buffer = io.BytesIO(data[offset + header_len:])
     try:
         with np.load(buffer) as arrays:
@@ -318,13 +351,7 @@ def restore(data: bytes):
     except (zipfile.BadZipFile, OSError, EOFError, KeyError,
             ValueError) as exc:
         raise ValueError(f"corrupt checkpoint payload: {exc}") from exc
-    expected = state_arrays(instance)
-    if len(loaded) != len(expected):
-        raise ValueError(
-            f"state array count mismatch: checkpoint has {len(loaded)}, "
-            f"{header['class']} expects {len(expected)}")
-    _load_state(instance, loaded)
-    return instance
+    return _seat_checkpoint(header, loaded)
 
 
 # -- merging ------------------------------------------------------------------

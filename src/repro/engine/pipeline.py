@@ -52,18 +52,36 @@ checkpoints stay honest.
 
 from __future__ import annotations
 
-import io
 import json
+from collections import OrderedDict
 
 import numpy as np
 
+from ..wire import (KIND_PIPELINE, WireError, decode_frame, encode_frame,
+                    peek_header)
 from .checkpoint import (FORMAT_VERSION, IncompatibleShards, StaleCheckpoint,
+                         _load_state, build_twin,
                          checkpoint as snapshot, clone, fresh_twin,
-                         map_mismatches, merge_into,
-                         restore as restore_blob, spec_for)
+                         map_mismatches, merge_into, params_of,
+                         restore as restore_blob, spec_for, state_arrays)
+from .delta import (DeltaError, OutOfOrderDelta,
+                    apply as apply_delta, decode as decode_delta,
+                    encode as encode_delta)
 from .workers import BACKENDS, TRANSPORTS, ProcessPool, build_pool
 
+#: Magic of the retired pre-wire pipeline format (legacy reader only).
 _PIPELINE_MAGIC = b"RPROPL"
+
+#: Magic of the retired pre-wire structure format (signature peeks).
+_LEGACY_STRUCTURE_MAGIC = b"RPROCK"
+
+#: Pipeline checkpoint format readable by the legacy reader.
+_LEGACY_FORMAT = 2
+
+#: How many epochs of delta bases a pipeline retains for
+#: ``checkpoint(since=...)``.  Each base is one merged state's worth of
+#: memory; the ring evicts oldest-first.
+DELTA_BASE_RETENTION = 8
 
 #: Fibonacci hashing multiplier (2^64 / golden ratio, odd).
 _MIX = np.uint64(0x9E3779B97F4A7C15)
@@ -248,6 +266,8 @@ class ShardedPipeline:
         self._closed = False
         self._poisoned = False  # a chunk failed after partial fan-out
         self._merged_cache = None  # (epoch, folded) — see merged()
+        self._delta_bases = OrderedDict()  # epoch -> merged state arrays
+        self._shm_fallbacks_base = 0  # carried across reshards
         built = [factory() for _ in range(int(shards))]
         self._validate_shards(built)
         self._shard_class = type(built[0])
@@ -333,6 +353,22 @@ class ShardedPipeline:
         copies under the process backend."""
         self._require_open()
         return self._pool.structures()
+
+    @property
+    def shm_fallbacks(self) -> int:
+        """How many routed chunks the shm transport could not fit in a
+        slot and shipped over the pickle queue instead (0 for the
+        serial backend and the pickle transport).  Carried across
+        :meth:`reshard`; surfaced in ``ServiceStats`` by the query
+        service so an undersized slot ring is visible, not silent."""
+        return self._shm_fallbacks_base + getattr(
+            self._pool, "shm_fallbacks", 0)
+
+    @property
+    def delta_epochs(self) -> tuple:
+        """Epochs (``updates_ingested`` values) with a retained delta
+        base — the valid ``since=`` arguments to :meth:`checkpoint`."""
+        return tuple(self._delta_bases)
 
     # -- ingestion -----------------------------------------------------------
 
@@ -436,13 +472,18 @@ class ShardedPipeline:
         one extra structure's worth of memory.
         """
         self._require_open()
+        return clone(self._folded())
+
+    def _folded(self) -> object:
+        """The epoch-memoized fold itself (callers must clone before
+        mutating; checkpoint paths only read its state arrays)."""
         cached = self._merged_cache
         if cached is None or cached[0] != self.updates_ingested:
             folded = _fold_tree(self._pool.structures(),
                                 clone_targets=self._pool.shares_state)
             cached = (self.updates_ingested, folded)
             self._merged_cache = cached
-        return clone(cached[1])
+        return cached[1]
 
     # -- elastic resharding --------------------------------------------------
 
@@ -491,6 +532,7 @@ class ShardedPipeline:
                                       transport=self.transport,
                                       slot_updates=self.chunk_size))
         old_pool, self._pool = self._pool, new_pool
+        self._shm_fallbacks_base += getattr(old_pool, "shm_fallbacks", 0)
         self._k = new_k
         self.partition = partition
         self._cursor = 0
@@ -504,51 +546,102 @@ class ShardedPipeline:
 
     # -- checkpoint / restore ------------------------------------------------
 
-    def checkpoint(self) -> bytes:
-        """Snapshot the whole pipeline (shards + partition state).
+    def checkpoint(self, since: int | None = None,
+                   compress: str | None = None) -> bytes:
+        """Snapshot the pipeline as a wire frame — full or delta.
 
-        Wire format (backend-agnostic; see README "Checkpoint wire
-        format"): the 6-byte magic ``RPROPL``, a 4-byte big-endian
-        header length, the JSON header (``format``, ``partition``,
-        ``chunk_size``, ``cursor``, ``updates_ingested``, ``shards``),
-        then exactly ``shards`` length-prefixed (8-byte big-endian)
-        engine checkpoint blobs and nothing after the last one.
+        With ``since=None`` (default) the frame is a full
+        ``KIND_PIPELINE`` checkpoint (backend-agnostic; see README
+        "Wire format & replication"): the JSON header carries
+        ``format``, ``partition``, ``chunk_size``, ``cursor``,
+        ``updates_ingested`` and ``shards``, and each section is one
+        shard's own ``KIND_STRUCTURE`` frame.
+
+        With ``since=E`` the frame is a ``KIND_DELTA`` checkpoint:
+        only the difference between the merged state at epoch ``E``
+        (``updates_ingested`` value) and the merged state now.
+        Sketches are linear, so that difference *is* a sketch of the
+        interim stream.  A base is retained every time
+        :meth:`checkpoint` runs (the newest
+        ``DELTA_BASE_RETENTION`` epochs; see :attr:`delta_epochs`),
+        so the natural cadence is one full checkpoint followed by
+        deltas chained epoch to epoch.  Restore the chain with
+        ``restore(base, deltas=[...])`` — the result is byte-identical
+        to the equivalent full checkpoint's merged state.
+
+        ``compress`` selects per-section zlib (``"none"``/``"zlib"``);
+        it defaults to ``"none"`` for full checkpoints and ``"zlib"``
+        for deltas, whose payloads are mostly zeros.
         """
         self._require_open()
-        blobs = self._pool.snapshots()
-        header = json.dumps({
+        if since is None:
+            blobs = self._pool.snapshots()
+            header = {
+                "format": FORMAT_VERSION,
+                "partition": self.partition,
+                "chunk_size": self.chunk_size,
+                "cursor": self._cursor,
+                "updates_ingested": self.updates_ingested,
+                "shards": len(blobs),
+            }
+            sections = [np.frombuffer(blob, dtype=np.uint8)
+                        for blob in blobs]
+            frame = encode_frame(
+                KIND_PIPELINE, header, sections,
+                compress="none" if compress is None else compress)
+            self._remember_base()
+            return frame
+        base_epoch = int(since)
+        base = self._delta_bases.get(base_epoch)
+        if base is None:
+            raise ValueError(
+                f"no delta base retained for epoch {base_epoch}; "
+                f"retained epochs: {list(self._delta_bases)} (every "
+                f"checkpoint() call retains its epoch, newest "
+                f"{DELTA_BASE_RETENTION} kept)")
+        folded = self._folded()
+        meta = {
             "format": FORMAT_VERSION,
-            "partition": self.partition,
-            "chunk_size": self.chunk_size,
-            "cursor": self._cursor,
-            "updates_ingested": self.updates_ingested,
-            "shards": len(blobs),
-        }).encode("utf-8")
-        out = io.BytesIO()
-        out.write(_PIPELINE_MAGIC)
-        out.write(len(header).to_bytes(4, "big"))
-        out.write(header)
-        for blob in blobs:
-            out.write(len(blob).to_bytes(8, "big"))
-            out.write(blob)
-        return out.getvalue()
+            "class": type(folded).__name__,
+            "params": params_of(folded),
+            "base_epoch": base_epoch,
+            "epoch": self.updates_ingested,
+        }
+        frame = encode_delta(
+            meta, base, state_arrays(folded),
+            compress="zlib" if compress is None else compress)
+        self._remember_base()
+        return frame
+
+    def _remember_base(self) -> None:
+        """Retain the current merged state as a future delta base."""
+        arrays = [np.array(a, copy=True)
+                  for a in state_arrays(self._folded())]
+        epoch = self.updates_ingested
+        self._delta_bases[epoch] = arrays
+        self._delta_bases.move_to_end(epoch)
+        while len(self._delta_bases) > DELTA_BASE_RETENTION:
+            self._delta_bases.popitem(last=False)
 
     @classmethod
     def restore(cls, data: bytes, backend: str = "serial",
                 shards: int | None = None,
-                transport: str | None = None) -> "ShardedPipeline":
+                transport: str | None = None,
+                deltas=()) -> "ShardedPipeline":
         """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting.
 
         The header is fully validated (unknown partition, nonsense
         chunk size, negative counters, a cursor out of range for the
         checkpointed K and a shard count that does not match the
-        framed payload all raise ``ValueError``) and the payload must
-        end exactly at the last shard blob — trailing garbage is
+        framed payload all raise ``ValueError``) and the frame must
+        end exactly at the last shard section — trailing garbage is
         rejected rather than silently ignored.  ``backend`` chooses
         where the restored shards execute and ``transport`` how the
         process backend ships chunks to them; both are execution
         choices, not part of the wire format — a blob written under
-        one combination restores under any other.
+        one combination restores under any other.  Legacy ``RPROPL``
+        (format-2) pipeline checkpoints restore via the one-release
+        legacy reader.
 
         ``shards`` optionally restores onto a *different* shard count
         than the checkpoint was taken at: the checkpointed states are
@@ -561,32 +654,22 @@ class ShardedPipeline:
         round-robin cursor restarts at shard 0.  Cross-K restore folds
         all checkpointed states in the restoring process even under
         ``backend="process"``.
+
+        ``deltas`` is an ordered chain of ``KIND_DELTA`` frames from
+        ``checkpoint(since=...)``: the checkpointed states are folded,
+        each delta is applied in order (epochs and state digests are
+        verified — :class:`~repro.engine.delta.OutOfOrderDelta` /
+        :class:`~repro.engine.delta.WrongBaseDelta` on violation) and
+        the advanced state is re-seated like a cross-K restore.  The
+        merged state is byte-identical to the full checkpoint taken
+        at the last delta's epoch, and ``updates_ingested`` lands
+        there too.
         """
         data = bytes(data)
-        if data[:len(_PIPELINE_MAGIC)] != _PIPELINE_MAGIC:
-            raise ValueError("not a pipeline checkpoint (bad magic)")
-        offset = len(_PIPELINE_MAGIC)
-        if len(data) < offset + 4:
-            raise ValueError("truncated pipeline checkpoint (no header)")
-        header_len = int.from_bytes(data[offset:offset + 4], "big")
-        offset += 4
-        raw_header = data[offset:offset + header_len]
-        if len(raw_header) < header_len:
-            raise ValueError(
-                "truncated pipeline checkpoint (incomplete header)")
-        try:
-            header = json.loads(raw_header.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(
-                f"corrupt pipeline checkpoint header: {exc}") from exc
-        if not isinstance(header, dict):
-            raise ValueError("corrupt pipeline checkpoint header "
-                             "(not a JSON object)")
-        offset += header_len
-        if header.get("format") != FORMAT_VERSION:
-            raise StaleCheckpoint(
-                f"pipeline checkpoint format {header.get('format')!r} is "
-                f"not supported (this build reads {FORMAT_VERSION})")
+        if data[:len(_PIPELINE_MAGIC)] == _PIPELINE_MAGIC:
+            header, blobs = _parse_legacy_pipeline(data)
+        else:
+            header, blobs = _parse_wire_pipeline(data)
         partition = header.get("partition")
         if partition not in _PARTITIONS:
             raise ValueError(
@@ -601,37 +684,23 @@ class ShardedPipeline:
             raise ValueError(f"corrupt pipeline checkpoint: cursor "
                              f"{cursor} out of range for "
                              f"{declared} shards")
-        blobs = []
-        for i in range(declared):
-            if offset + 8 > len(data):
-                raise ValueError(
-                    f"corrupt pipeline checkpoint: header declares "
-                    f"{declared} shards but the payload ends at "
-                    f"shard {i}")
-            blob_len = int.from_bytes(data[offset:offset + 8], "big")
-            offset += 8
-            if blob_len > len(data) - offset:
-                raise ValueError(
-                    f"corrupt pipeline checkpoint: shard blob {i} is "
-                    f"truncated ({blob_len} bytes framed, "
-                    f"{len(data) - offset} remain)")
-            blobs.append(data[offset:offset + blob_len])
-            offset += blob_len
-        if offset != len(data):
+        if len(blobs) != declared:
             raise ValueError(
-                f"corrupt pipeline checkpoint: {len(data) - offset} "
-                f"trailing bytes after the last shard blob")
+                f"corrupt pipeline checkpoint: header declares "
+                f"{declared} shards but the frame carries "
+                f"{len(blobs)} shard sections")
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, not {backend!r}")
         transport = _validated_transport(backend, transport)
+        delta_blobs = [bytes(blob) for blob in deltas]
         if shards is not None and int(shards) != declared:
             new_k = int(shards)
             if new_k < 1:
                 raise ValueError("need at least one shard")
         else:
             new_k = None
-        if new_k is None and backend == "process":
+        if new_k is None and backend == "process" and not delta_blobs:
             # Workers restore their own blobs, so the parent never
             # needs all K states in memory: restore only the head
             # shard for the registry checks, compare the other blobs'
@@ -656,7 +725,22 @@ class ShardedPipeline:
             states = [restore_blob(blob) for blob in blobs]
             cls._validate_shards(states)
             shard_class = type(states[0])
-            if new_k is not None:
+            if delta_blobs:
+                # Fold the checkpointed states to the merged arrays
+                # the deltas were encoded against, advance through
+                # the chain, then seat the result exactly as a
+                # cross-K restore would.
+                folded = _fold_tree(states, clone_targets=False)
+                arrays, updates_ingested = _apply_delta_chain(
+                    folded, updates_ingested, delta_blobs)
+                twin = build_twin(type(folded).__name__,
+                                  params_of(folded))
+                _load_state(twin, arrays)
+                states = _seat_states(
+                    twin, new_k if new_k is not None else declared)
+                declared = len(states)
+                cursor = 0
+            elif new_k is not None:
                 # Cross-K restore: fold the checkpointed states and
                 # seat them at the requested K, exactly as reshard()
                 # does on a live pipeline.  The header above was
@@ -680,18 +764,127 @@ class ShardedPipeline:
         pipeline._closed = False
         pipeline._poisoned = False
         pipeline._merged_cache = None
+        pipeline._delta_bases = OrderedDict()
+        pipeline._shm_fallbacks_base = 0
         pipeline._shard_class = shard_class
         pipeline._k = declared
         pipeline._pool = pool
         return pipeline
 
 
+def _parse_wire_pipeline(data: bytes) -> tuple:
+    """(header, shard blobs) from a ``KIND_PIPELINE`` wire frame."""
+    try:
+        frame = decode_frame(data, expect_kind=KIND_PIPELINE)
+    except WireError as exc:
+        raise ValueError(f"not a pipeline checkpoint: {exc}") from exc
+    header = frame.header
+    if header.get("format") != FORMAT_VERSION:
+        raise StaleCheckpoint(
+            f"pipeline checkpoint format {header.get('format')!r} is "
+            f"not supported (this build reads {FORMAT_VERSION})")
+    blobs = []
+    for i, section in enumerate(frame.sections):
+        if section.dtype != np.uint8 or section.ndim != 1:
+            raise ValueError(
+                f"corrupt pipeline checkpoint: shard section {i} is "
+                f"{section.dtype} ndim={section.ndim}, expected a "
+                f"flat u1 blob")
+        blobs.append(section.tobytes())
+    return header, blobs
+
+
+def _parse_legacy_pipeline(data: bytes) -> tuple:
+    """One-release reader for ``RPROPL`` (format-2) pipeline blobs:
+    6-byte magic, 4-byte big-endian header length, JSON header, then
+    exactly ``shards`` 8-byte length-prefixed structure blobs."""
+    offset = len(_PIPELINE_MAGIC)
+    if len(data) < offset + 4:
+        raise ValueError("truncated pipeline checkpoint (no header)")
+    header_len = int.from_bytes(data[offset:offset + 4], "big")
+    offset += 4
+    raw_header = data[offset:offset + header_len]
+    if len(raw_header) < header_len:
+        raise ValueError(
+            "truncated pipeline checkpoint (incomplete header)")
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"corrupt pipeline checkpoint header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ValueError("corrupt pipeline checkpoint header "
+                         "(not a JSON object)")
+    offset += header_len
+    if header.get("format") != _LEGACY_FORMAT:
+        raise StaleCheckpoint(
+            f"pipeline checkpoint format {header.get('format')!r} is "
+            f"not supported (this build reads {FORMAT_VERSION} and "
+            f"legacy format {_LEGACY_FORMAT})")
+    declared = _header_int(header, "shards", minimum=1)
+    blobs = []
+    for i in range(declared):
+        if offset + 8 > len(data):
+            raise ValueError(
+                f"corrupt pipeline checkpoint: header declares "
+                f"{declared} shards but the payload ends at "
+                f"shard {i}")
+        blob_len = int.from_bytes(data[offset:offset + 8], "big")
+        offset += 8
+        if blob_len > len(data) - offset:
+            raise ValueError(
+                f"corrupt pipeline checkpoint: shard blob {i} is "
+                f"truncated ({blob_len} bytes framed, "
+                f"{len(data) - offset} remain)")
+        blobs.append(data[offset:offset + blob_len])
+        offset += blob_len
+    if offset != len(data):
+        raise ValueError(
+            f"corrupt pipeline checkpoint: {len(data) - offset} "
+            f"trailing bytes after the last shard blob")
+    # Rewrite the format so the common validation path (which checks
+    # shard count vs sections) accepts the parsed legacy header.
+    header = dict(header)
+    header["format"] = FORMAT_VERSION
+    return header, blobs
+
+
+def _apply_delta_chain(folded, epoch: int, delta_blobs: list) -> tuple:
+    """Advance ``folded``'s state arrays through an ordered delta
+    chain; returns ``(arrays, final epoch)``."""
+    arrays = state_arrays(folded)
+    class_name = type(folded).__name__
+    params = params_of(folded)
+    for index, blob in enumerate(delta_blobs):
+        header, _ = decode_delta(blob)
+        if header.get("class") != class_name \
+                or header.get("params") != params:
+            raise DeltaError(
+                f"delta {index} describes "
+                f"{header.get('class')!r} with parameters "
+                f"{header.get('params')!r}; the base pipeline holds "
+                f"{class_name!r} with {params!r}")
+        if header.get("base_epoch") != epoch:
+            raise OutOfOrderDelta(
+                f"delta {index} starts at epoch "
+                f"{header.get('base_epoch')!r} but the chain is at "
+                f"epoch {epoch} (deltas must be applied in order, "
+                f"each starting where the previous ended)")
+        header, arrays = apply_delta(arrays, blob)
+        epoch = header["epoch"]
+    return arrays, epoch
+
+
 def _shard_blob_signature(blob: bytes, index: int) -> tuple:
-    """(class, params) from a structure blob's JSON header — the two
+    """(class, params) from a structure blob's header — the two
     fields that determine its linear map — without restoring state."""
     try:
-        header_len = int.from_bytes(blob[6:10], "big")
-        header = json.loads(blob[10:10 + header_len].decode("utf-8"))
+        blob = bytes(blob)
+        if blob[:len(_LEGACY_STRUCTURE_MAGIC)] == _LEGACY_STRUCTURE_MAGIC:
+            header_len = int.from_bytes(blob[6:10], "big")
+            header = json.loads(blob[10:10 + header_len].decode("utf-8"))
+        else:
+            _, header = peek_header(blob)
         return header["class"], header["params"]
     except Exception as exc:
         raise ValueError(

@@ -260,6 +260,7 @@ class ProcessPool(WorkerPool):
             start_method = "fork"
         context = mp.get_context(start_method)
         self.transport = transport
+        self.shm_fallbacks = 0     # shm-transport chunks that rode pickle
         self._closed = False
         self._fatal = None
         self._workers = []
@@ -339,6 +340,7 @@ class ProcessPool(WorkerPool):
                     and worker.ring.fits(indices, deltas):
                 self._send_shm(shard, indices, deltas)
                 return
+            self.shm_fallbacks += 1
         self._send(shard, ("ingest", indices, deltas))
 
     def _send_shm(self, shard: int, indices: np.ndarray,

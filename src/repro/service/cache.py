@@ -122,6 +122,7 @@ class ServiceStats:
     prewarmed: int = 0             # results precomputed at refresh time
     prewarm_seconds: float = 0.0
     reshards: int = 0
+    shm_fallbacks: int = 0         # shm-transport chunks that rode pickle
     per_op: dict = field(default_factory=dict)   # op -> count
 
     def record_query(self, op: str, seconds: float, cached: bool,
@@ -174,6 +175,7 @@ class ServiceStats:
             "prewarmed": self.prewarmed,
             "prewarm_seconds": self.prewarm_seconds,
             "reshards": self.reshards,
+            "shm_fallbacks": self.shm_fallbacks,
             "per_op": dict(self.per_op),
         }
 

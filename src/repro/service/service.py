@@ -124,6 +124,7 @@ class QueryService:
                 else start - self._last_ingest_start)
         self._last_ingest_start = start
         self.stats.record_ingest(count, end - start)
+        self.stats.shm_fallbacks = self.pipeline.shm_fallbacks
         if self.monitor is not None:
             target = self.monitor.observe(count, span,
                                           self.pipeline.shards)

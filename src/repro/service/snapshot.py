@@ -32,6 +32,8 @@ from collections import OrderedDict
 from ..engine.checkpoint import (_MAGIC as _STRUCTURE_MAGIC, clone,
                                  restore as restore_structure)
 from ..engine.pipeline import _PIPELINE_MAGIC, ShardedPipeline
+from ..wire import (KIND_PIPELINE, KIND_SKETCH, KIND_STRUCTURE, MAGIC,
+                    WireError, peek_kind)
 
 #: Process-unique snapshot tokens (see Snapshot.cache_token).
 _TOKENS = itertools.count()
@@ -76,28 +78,55 @@ class Snapshot:
                         epoch: int | None = None) -> "Snapshot":
         """Serve a checkpoint without a live pipeline.
 
-        Accepts both wire formats: a *pipeline* checkpoint
-        (``RPROPL``, shard states folded here, epoch read from its
-        header — passing ``epoch`` is rejected because the blob already
-        carries the truth) and a bare *structure* checkpoint
-        (``RPROCK``, e.g. a remote site's sketch, which carries no
-        update counter — ``epoch`` defaults to 0).
+        Accepts every checkpoint shape the wire layer produces: a
+        *pipeline* frame (shard states folded here, epoch read from
+        its header — passing ``epoch`` is rejected because the frame
+        already carries the truth), a bare *structure* frame (e.g. a
+        remote site's sketch, which carries no update counter —
+        ``epoch`` defaults to 0), and a *sketch* frame from
+        ``sketch.to_bytes()``.  Legacy ``RPROPL``/``RPROCK`` blobs
+        from the previous release dispatch the same way.
         """
         blob = bytes(blob)
-        if blob[:len(_PIPELINE_MAGIC)] == _PIPELINE_MAGIC:
-            if epoch is not None:
-                raise ValueError(
-                    "a pipeline checkpoint carries its own epoch "
-                    "(updates_ingested); do not pass one")
-            with ShardedPipeline.restore(blob) as pipeline:
-                return cls(pipeline.merged(), pipeline.updates_ingested,
+        if blob[:len(MAGIC)] == MAGIC:
+            try:
+                kind = peek_kind(blob)
+            except WireError as exc:
+                raise ValueError(f"unreadable checkpoint: {exc}") from exc
+            if kind == KIND_PIPELINE:
+                return cls._from_pipeline_blob(blob, epoch)
+            if kind == KIND_STRUCTURE:
+                return cls(restore_structure(blob),
+                           0 if epoch is None else int(epoch),
                            source="checkpoint")
+            if kind == KIND_SKETCH:
+                from ..sketch.serialize import from_bytes
+                return cls(from_bytes(blob),
+                           0 if epoch is None else int(epoch),
+                           source="checkpoint")
+            raise ValueError(
+                f"cannot snapshot a frame of kind {kind} (deltas need "
+                f"a base: restore the pipeline with deltas=, or feed "
+                f"them to a FollowerPipeline)")
+        if blob[:len(_PIPELINE_MAGIC)] == _PIPELINE_MAGIC:
+            return cls._from_pipeline_blob(blob, epoch)
         if blob[:len(_STRUCTURE_MAGIC)] == _STRUCTURE_MAGIC:
             return cls(restore_structure(blob),
                        0 if epoch is None else int(epoch),
                        source="checkpoint")
         raise ValueError(
             "not a pipeline or structure checkpoint (bad magic)")
+
+    @classmethod
+    def _from_pipeline_blob(cls, blob: bytes,
+                            epoch: int | None) -> "Snapshot":
+        if epoch is not None:
+            raise ValueError(
+                "a pipeline checkpoint carries its own epoch "
+                "(updates_ingested); do not pass one")
+        with ShardedPipeline.restore(blob) as pipeline:
+            return cls(pipeline.merged(), pipeline.updates_ingested,
+                       source="checkpoint")
 
     # -- the frozen view -----------------------------------------------------
 

@@ -23,6 +23,10 @@ from .kernels import scatter_add_rows
 from .linear import LinearSketch
 from .serialize import register
 
+#: Batch-estimate chunk size (coordinates per block): scratch stays at
+#: ``rows * _ESTIMATE_BLOCK`` counters regardless of the universe size.
+_ESTIMATE_BLOCK = 1 << 15
+
 
 @register
 class CountMin(LinearSketch):
@@ -106,7 +110,17 @@ class CountMin(LinearSketch):
                                               dtype=np.int64)).min())
 
     def estimate_many(self, indices) -> np.ndarray:
-        return self._row_samples(indices).min(axis=0)
+        """Count-min estimates for a batch of coordinates.
+
+        Internally chunked like count-sketch's batch estimator: the
+        ``(rows, batch)`` gather runs over blocks of at most
+        ``_ESTIMATE_BLOCK`` coordinates, so scratch memory stays
+        bounded however many coordinates are asked for (the full-
+        universe heavy-hitter sweep included) while each block still
+        runs the stacked vectorised path.
+        """
+        return self._estimate_blocks(indices, np.int64,
+                                     lambda s: s.min(axis=0))
 
     def estimate_median(self, index: int) -> float:
         """Count-median estimate: valid in the general update model."""
@@ -114,7 +128,20 @@ class CountMin(LinearSketch):
             np.array([index], dtype=np.int64))))
 
     def estimate_median_many(self, indices) -> np.ndarray:
-        return np.median(self._row_samples(indices), axis=0)
+        """Count-median estimates, chunked like :meth:`estimate_many`."""
+        return self._estimate_blocks(indices, np.float64,
+                                     lambda s: np.median(s, axis=0))
+
+    def _estimate_blocks(self, indices, out_dtype, reduce_rows):
+        idx = np.asarray(indices, dtype=np.int64)
+        out = np.empty(idx.shape, dtype=out_dtype)
+        flat_idx = np.atleast_1d(idx)
+        flat_out = np.atleast_1d(out)
+        for start in range(0, flat_idx.size, _ESTIMATE_BLOCK):
+            block = flat_idx[start:start + _ESTIMATE_BLOCK]
+            flat_out[start:start + _ESTIMATE_BLOCK] = \
+                reduce_rows(self._row_samples(block))
+        return out
 
     def space_report(self) -> SpaceReport:
         return SpaceReport(

@@ -3,11 +3,16 @@
 The Section 4 protocols "send the memory contents over" — this module
 makes that literal: any :class:`~repro.sketch.linear.LinearSketch`
 subclass that declares its constructor parameters via ``_params()``
-gets ``to_bytes`` / ``from_bytes`` for free.  The wire format is a
-JSON header (class name + parameters) followed by the raw counter
-arrays, so two honest parties sharing the seed reconstruct the *same*
-linear map and can keep updating the shipped sketch — exactly the
-property the one-way protocols rely on.
+gets ``to_bytes`` / ``from_bytes`` for free.  The payload is a
+:mod:`repro.wire` frame (``KIND_SKETCH``): a JSON header naming the
+class + parameters, followed by dtype-tagged counter-array sections,
+so two honest parties sharing the seed reconstruct the *same* linear
+map and can keep updating the shipped sketch — exactly the property
+the one-way protocols rely on.
+
+Blobs written by the pre-wire encoder (magic ``RPRO1``, JSON header +
+``np.savez`` payload) remain restorable for one release via the legacy
+reader below.
 
 The encoded size is the physical message; the paper-model message size
 (O(log n)-bit counters) remains ``space_bits()``.  Benchmarks report
@@ -21,9 +26,12 @@ import json
 
 import numpy as np
 
+from ..wire import KIND_SKETCH, WireError, decode_frame, encode_frame
+
 #: Registry of serializable sketch classes, filled by register().
 _REGISTRY: dict[str, type] = {}
 
+#: Magic of the retired pre-wire format, kept for the legacy reader.
 _MAGIC = b"RPRO1"
 
 
@@ -41,32 +49,18 @@ def register(cls):
     return cls
 
 
-def to_bytes(self) -> bytes:
-    """Encode header (class + params) and the counter arrays."""
-    header = json.dumps({
-        "class": type(self).__name__,
-        "params": self._params(),
-    }).encode("utf-8")
-    buffer = io.BytesIO()
-    arrays = {f"a{i}": arr for i, arr in enumerate(self._state_arrays())}
-    np.savez(buffer, **arrays)
-    payload = buffer.getvalue()
-    return (_MAGIC + len(header).to_bytes(4, "big") + header + payload)
+def to_bytes(self, compress: str = "none") -> bytes:
+    """Encode the sketch as a ``KIND_SKETCH`` wire frame."""
+    header = {"class": type(self).__name__, "params": self._params()}
+    return encode_frame(KIND_SKETCH, header, self._state_arrays(),
+                        compress=compress)
 
 
-def from_bytes(data: bytes):
-    """Reconstruct a sketch encoded by :func:`to_bytes`."""
-    if data[:5] != _MAGIC:
-        raise ValueError("not a serialized sketch")
-    header_len = int.from_bytes(data[5:9], "big")
-    header = json.loads(data[9:9 + header_len].decode("utf-8"))
-    cls = _REGISTRY.get(header["class"])
+def _instantiate(header: dict, state: list):
+    cls = _REGISTRY.get(header.get("class"))
     if cls is None:
-        raise ValueError(f"unknown sketch class {header['class']!r}")
+        raise ValueError(f"unknown sketch class {header.get('class')!r}")
     instance = cls(**header["params"])
-    buffer = io.BytesIO(data[9 + header_len:])
-    with np.load(buffer) as arrays:
-        state = [arrays[f"a{i}"] for i in range(len(arrays.files))]
     expected = instance._state_arrays()
     if len(state) != len(expected):
         raise ValueError("state array count mismatch")
@@ -76,6 +70,28 @@ def from_bytes(data: bytes):
     instance._replace_state([arr.astype(ref.dtype)
                              for arr, ref in zip(state, expected)])
     return instance
+
+
+def from_bytes(data: bytes):
+    """Reconstruct a sketch encoded by :func:`to_bytes` (or by the
+    retired ``RPRO1`` encoder)."""
+    if bytes(data[:len(_MAGIC)]) == _MAGIC:
+        return _from_legacy_bytes(data)
+    try:
+        frame = decode_frame(data, expect_kind=KIND_SKETCH)
+    except WireError as exc:
+        raise ValueError(f"not a serialized sketch: {exc}") from exc
+    return _instantiate(frame.header, frame.sections)
+
+
+def _from_legacy_bytes(data: bytes):
+    """One-release reader for pre-wire ``RPRO1`` blobs."""
+    header_len = int.from_bytes(data[5:9], "big")
+    header = json.loads(data[9:9 + header_len].decode("utf-8"))
+    buffer = io.BytesIO(data[9 + header_len:])
+    with np.load(buffer) as arrays:
+        state = [arrays[f"a{i}"] for i in range(len(arrays.files))]
+    return _instantiate(header, state)
 
 
 def _from_bytes_cls(cls, data: bytes):

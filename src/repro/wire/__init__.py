@@ -1,0 +1,48 @@
+"""One wire layer for the whole library.
+
+Every serializer in the package — bare sketches (``sketch/serialize``),
+engine checkpoints (``engine/checkpoint``), pipeline checkpoints and
+delta frames (``engine/pipeline``, ``engine/delta``) and the comm/
+protocols' physical messages — encodes through this module, so a
+checkpoint *is* the literal protocol message the paper sends.
+"""
+
+from .frame import (
+    COMPRESSIONS,
+    Frame,
+    KIND_DELTA,
+    KIND_NAMES,
+    KIND_PIPELINE,
+    KIND_SKETCH,
+    KIND_STRUCTURE,
+    MAGIC,
+    WIRE_VERSION,
+    WireError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    peek_header,
+    peek_kind,
+    read_frames,
+    split_frames,
+)
+
+__all__ = [
+    "COMPRESSIONS",
+    "Frame",
+    "KIND_DELTA",
+    "KIND_NAMES",
+    "KIND_PIPELINE",
+    "KIND_SKETCH",
+    "KIND_STRUCTURE",
+    "MAGIC",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "frame_length",
+    "peek_header",
+    "peek_kind",
+    "read_frames",
+    "split_frames",
+]

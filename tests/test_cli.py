@@ -74,6 +74,46 @@ class TestInProcess:
                      "--reshard-to", "0"]) == 2
         assert "at least 1" in capsys.readouterr().err
 
+    def test_engine_delta_checkpoint(self, capsys):
+        assert main(["engine", "--structure", "l0", "-n", "512",
+                     "--updates", "4000", "--shards", "3",
+                     "--chunk", "256",
+                     "--checkpoint-format", "delta"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 4000 updates" in out
+        assert "base at" in out and "delta to" in out
+
+    def test_engine_delta_conflicts_with_reshard_demo(self, capsys):
+        assert main(["engine", "--structure", "l0", "-n", "256",
+                     "--updates", "500", "--reshard-at", "250",
+                     "--checkpoint-format", "delta"]) == 2
+        assert "drop --reshard-at" in capsys.readouterr().err
+
+    def test_follow_round_trip(self, capsys, tmp_path):
+        stream = tmp_path / "stream.wire"
+        assert main(["follow", "--structure", "l0", "-n", "512",
+                     "--updates", "4000", "--batches", "4",
+                     "--shards", "3", "--chunk", "256",
+                     "--stream", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "follower applied 3 deltas" in out
+        assert "byte-identical to leader merged(): True" in out
+        assert "promoted sample:" in out
+        assert stream.exists()             # --stream paths are kept
+
+    def test_serve_checkpoint_out(self, capsys, tmp_path):
+        from repro.service.snapshot import Snapshot
+
+        path = tmp_path / "final.wire"
+        assert main(["serve", "--structure", "hh", "-n", "512",
+                     "--updates", "2000", "--batches", "2",
+                     "--chunk", "256", "--checkpoint-out", str(path),
+                     "--compress", "zlib"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written:" in out
+        snapshot = Snapshot.from_checkpoint(path.read_bytes())
+        assert snapshot.epoch == 2000
+
     def test_engine_process_backend(self, capsys):
         assert main(["engine", "--structure", "count-sketch", "-n", "512",
                      "--updates", "4000", "--shards", "2",

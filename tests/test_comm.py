@@ -78,12 +78,20 @@ class TestURProtocols:
         assert two_round_protocol(inst, seed=1).rounds == 2
 
     def test_round_tradeoff_in_bits(self):
-        """Proposition 5: the second round buys a log factor."""
-        n = 1 << 12
+        """Proposition 5: the second round buys a log factor.
+
+        Message sizes are measured on the encoded wire frames, whose
+        per-message overhead is constant — so the asymptotic log-factor
+        gap needs a universe large enough to dominate the framing of
+        the second round's detector battery (crossover ~2^14).
+        """
+        n = 1 << 16
         inst = random_ur_instance(n, hamming_distance=10, seed=2)
-        bits1 = one_round_protocol(inst, seed=2).total_bits
-        bits2 = two_round_protocol(inst, seed=2).total_bits
-        assert bits2 < bits1
+        result1 = one_round_protocol(inst, seed=2)
+        result2 = two_round_protocol(inst, seed=2)
+        assert result2.total_bits < result1.total_bits
+        # The framing-free model accounting agrees on the tradeoff.
+        assert result2.meta["model_bits"] < result1.meta["model_bits"]
 
     def test_deterministic_baseline_always_correct(self):
         from repro.comm import deterministic_protocol

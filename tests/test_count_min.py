@@ -92,6 +92,51 @@ class TestLinearity:
             a.merge(b)
 
 
+class TestBatchEstimates:
+    def _loaded(self, n=5000):
+        cm = CountMin(n, buckets=64, rows=5, seed=2)
+        rng = np.random.default_rng(7)
+        idx = rng.integers(0, n, size=4000, dtype=np.int64)
+        dlt = rng.integers(1, 9, size=4000, dtype=np.int64)
+        cm.update_many(idx, dlt)
+        return cm
+
+    def test_estimate_many_matches_pointwise(self):
+        cm = self._loaded()
+        everyone = np.arange(cm.universe, dtype=np.int64)
+        batch = cm.estimate_many(everyone)
+        assert batch.dtype == np.int64
+        sample = np.arange(0, cm.universe, 97)
+        assert all(batch[i] == cm.estimate(int(i)) for i in sample)
+
+    def test_estimate_median_many_matches_pointwise(self):
+        cm = self._loaded()
+        everyone = np.arange(cm.universe, dtype=np.int64)
+        batch = cm.estimate_median_many(everyone)
+        assert batch.dtype == np.float64
+        sample = np.arange(0, cm.universe, 97)
+        assert all(batch[i] == cm.estimate_median(int(i))
+                   for i in sample)
+
+    def test_chunking_is_invisible(self, monkeypatch):
+        """Answers must not depend on the estimate block size — the
+        full-universe heavy-hitter sweep runs through these chunks."""
+        from repro.sketch import count_min as module
+
+        cm = self._loaded(n=1000)
+        everyone = np.arange(cm.universe, dtype=np.int64)
+        whole = cm.estimate_many(everyone)
+        whole_med = cm.estimate_median_many(everyone)
+        monkeypatch.setattr(module, "_ESTIMATE_BLOCK", 37)
+        assert np.array_equal(cm.estimate_many(everyone), whole)
+        assert np.array_equal(cm.estimate_median_many(everyone),
+                              whole_med)
+
+    def test_scalar_shape_preserved(self):
+        cm = self._loaded(n=100)
+        assert cm.estimate_many(np.int64(3)).shape == ()
+
+
 class TestSpace:
     def test_report_counts(self):
         cm = CountMin(1000, buckets=20, rows=6)

@@ -1,6 +1,7 @@
 """Serialization round-trips for every engine-registered type, plus
 wire-format hardening (stale versions, garbage, tampered headers)."""
 
+import io
 import json
 
 import numpy as np
@@ -9,19 +10,17 @@ import pytest
 from repro.core import L0Sampler
 from repro.engine import (FORMAT_VERSION, ShardedPipeline, StaleCheckpoint,
                           checkpoint, clone, restore, state_arrays)
+from repro.wire import decode_frame, encode_frame
 
 from _engine_cases import CASES, CASE_IDS, feed
 
 
 def _tamper_header(blob: bytes, mutate) -> bytes:
-    """Decode the JSON header, apply ``mutate(dict)``, re-encode."""
-    magic, rest = blob[:6], blob[6:]
-    header_len = int.from_bytes(rest[:4], "big")
-    header = json.loads(rest[4:4 + header_len].decode("utf-8"))
-    mutate(header)
-    encoded = json.dumps(header).encode("utf-8")
-    return (magic + len(encoded).to_bytes(4, "big") + encoded
-            + rest[4 + header_len:])
+    """Decode the wire frame, apply ``mutate(header dict)``, re-encode
+    (kind and sections untouched)."""
+    frame = decode_frame(blob)
+    mutate(frame.header)
+    return encode_frame(frame.kind, frame.header, frame.sections)
 
 
 @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
@@ -106,13 +105,13 @@ class TestWireFormat:
         with pytest.raises(ValueError):
             restore(b"definitely not a checkpoint")
 
-    def test_legacy_sketch_wire_format_rejected(self):
-        """serialize.py blobs (RPRO1 magic) are a different format."""
+    def test_sketch_frame_rejected_by_structure_restore(self):
+        """serialize.py frames carry a different kind tag."""
         from repro.sketch import CountSketch
 
-        legacy = CountSketch(64, m=4, rows=5, seed=1).to_bytes()
-        with pytest.raises(ValueError, match="magic"):
-            restore(legacy)
+        sketch_frame = CountSketch(64, m=4, rows=5, seed=1).to_bytes()
+        with pytest.raises(ValueError, match="structure frame"):
+            restore(sketch_frame)
 
     def test_truncated_blob_rejected(self):
         blob = self._blob()
@@ -149,23 +148,21 @@ class TestWireFormat:
         with pytest.raises(ValueError, match="mismatch"):
             restore(_tamper_header(self._blob(), shrink))
 
-    def test_pipeline_magic_rejected(self):
+    def test_pipeline_frame_kind_rejected(self):
         pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
         blob = pipeline.checkpoint()
-        with pytest.raises(ValueError, match="magic"):
-            restore(blob)              # structure restore on pipeline blob
-        with pytest.raises(ValueError, match="magic"):
+        with pytest.raises(ValueError, match="pipeline"):
+            restore(blob)              # structure restore on pipeline frame
+        with pytest.raises(ValueError, match="structure"):
             ShardedPipeline.restore(self._blob())  # and vice versa
 
     def test_pipeline_stale_version_rejected(self):
         pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1), shards=2)
-        blob = bytearray(pipeline.checkpoint())
-        header_len = int.from_bytes(blob[6:10], "big")
-        header = json.loads(bytes(blob[10:10 + header_len]))
-        header["format"] = FORMAT_VERSION + 3
-        encoded = json.dumps(header).encode("utf-8")
-        tampered = (bytes(blob[:6]) + len(encoded).to_bytes(4, "big")
-                    + encoded + bytes(blob[10 + header_len:]))
+
+        def advance(header):
+            header["format"] = FORMAT_VERSION + 3
+
+        tampered = _tamper_header(pipeline.checkpoint(), advance)
         with pytest.raises(StaleCheckpoint):
             ShardedPipeline.restore(tampered)
 
@@ -176,16 +173,8 @@ class TestWireFormat:
             checkpoint(ReservoirSampler(64, seed=1))
 
 
-def _tamper_pipeline_header(blob: bytes, mutate) -> bytes:
-    """Decode the pipeline JSON header, apply ``mutate(dict)``,
-    re-encode (payload untouched)."""
-    magic, rest = blob[:6], blob[6:]
-    header_len = int.from_bytes(rest[:4], "big")
-    header = json.loads(rest[4:4 + header_len].decode("utf-8"))
-    mutate(header)
-    encoded = json.dumps(header).encode("utf-8")
-    return (magic + len(encoded).to_bytes(4, "big") + encoded
-            + rest[4 + header_len:])
+# Pipeline checkpoints are wire frames too — same tamper helper.
+_tamper_pipeline_header = _tamper_header
 
 
 class TestPipelineHeaderValidation:
@@ -224,12 +213,12 @@ class TestPipelineHeaderValidation:
                 _tamper_pipeline_header(self._blob(), negate))
 
     def test_shards_count_below_payload_rejected(self):
-        """Declaring fewer shards than framed blobs leaves trailing
-        bytes — silently dropping a shard's state would be a lie."""
+        """Declaring fewer shards than framed sections — silently
+        dropping a shard's state would be a lie."""
         def shrink(header):
             header["shards"] = 1
 
-        with pytest.raises(ValueError, match="trailing"):
+        with pytest.raises(ValueError, match="shard"):
             ShardedPipeline.restore(
                 _tamper_pipeline_header(self._blob(shards=2), shrink))
 
@@ -263,11 +252,8 @@ class TestPipelineHeaderValidation:
                 _tamper_pipeline_header(self._blob(), runaway))
 
     def test_non_object_header_rejected(self):
-        blob = self._blob()
-        header_len = int.from_bytes(blob[6:10], "big")
-        encoded = json.dumps([1, 2, 3]).encode("utf-8")
-        bad = (blob[:6] + len(encoded).to_bytes(4, "big") + encoded
-               + blob[10 + header_len:])
+        frame = decode_frame(self._blob())
+        bad = encode_frame(frame.kind, [1, 2, 3], frame.sections)
         with pytest.raises(ValueError):
             ShardedPipeline.restore(bad)
 
@@ -316,3 +302,97 @@ class TestPipelineHeaderValidation:
         mine = state_arrays(pipeline.merged())
         theirs = state_arrays(restored.merged())
         assert all(np.array_equal(a, b) for a, b in zip(mine, theirs))
+
+
+def _legacy_structure_blob(obj, fmt: int = 2) -> bytes:
+    """Re-create a pre-wire (format-2 ``RPROCK``) checkpoint blob."""
+    from repro.engine import params_of
+
+    header = json.dumps({
+        "format": fmt,
+        "class": type(obj).__name__,
+        "params": params_of(obj),
+    }).encode("utf-8")
+    buffer = io.BytesIO()
+    np.savez(buffer, **{f"a{i}": np.asarray(a)
+                        for i, a in enumerate(state_arrays(obj))})
+    return (b"RPROCK" + len(header).to_bytes(4, "big") + header
+            + buffer.getvalue())
+
+
+def _legacy_pipeline_blob(header: dict, shard_blobs: list) -> bytes:
+    """Re-create a pre-wire (format-2 ``RPROPL``) pipeline blob."""
+    encoded = json.dumps(header).encode("utf-8")
+    out = io.BytesIO()
+    out.write(b"RPROPL")
+    out.write(len(encoded).to_bytes(4, "big"))
+    out.write(encoded)
+    for blob in shard_blobs:
+        out.write(len(blob).to_bytes(8, "big"))
+        out.write(blob)
+    return out.getvalue()
+
+
+class TestLegacyReaders:
+    """Blobs written by the previous release (format 2, ``RPROCK`` /
+    ``RPROPL`` magics) stay restorable for one release."""
+
+    def test_legacy_structure_blob_restores(self):
+        sampler = L0Sampler(128, delta=0.2, seed=4)
+        sampler.update_many(np.arange(20), np.arange(1, 21))
+        twin = restore(_legacy_structure_blob(sampler))
+        assert type(twin) is L0Sampler
+        for a, b in zip(state_arrays(sampler), state_arrays(twin)):
+            assert np.array_equal(a, b)
+
+    def test_legacy_structure_older_than_legacy_rejected(self):
+        sampler = L0Sampler(64, seed=2)
+        with pytest.raises(StaleCheckpoint, match="format"):
+            restore(_legacy_structure_blob(sampler, fmt=1))
+
+    def test_legacy_pipeline_blob_restores(self):
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1),
+                                   shards=2, chunk_size=8)
+        pipeline.ingest(np.arange(16), np.ones(16, dtype=np.int64))
+        shard_blobs = [_legacy_structure_blob(s)
+                       for s in pipeline.shard_instances]
+        legacy = _legacy_pipeline_blob({
+            "format": 2,
+            "partition": pipeline.partition,
+            "chunk_size": pipeline.chunk_size,
+            "cursor": 0,
+            "updates_ingested": pipeline.updates_ingested,
+            "shards": pipeline.shards,
+        }, shard_blobs)
+        restored = ShardedPipeline.restore(legacy)
+        assert restored.updates_ingested == 16
+        mine = state_arrays(pipeline.merged())
+        theirs = state_arrays(restored.merged())
+        assert all(np.array_equal(a, b) for a, b in zip(mine, theirs))
+
+    def test_legacy_pipeline_blob_restores_on_process_backend(self):
+        """The signature fast path must peek legacy shard headers too."""
+        pytest.importorskip("multiprocessing")
+        pipeline = ShardedPipeline(lambda: L0Sampler(64, seed=1),
+                                   shards=2, chunk_size=8)
+        pipeline.ingest(np.arange(16), np.ones(16, dtype=np.int64))
+        shard_blobs = [_legacy_structure_blob(s)
+                       for s in pipeline.shard_instances]
+        legacy = _legacy_pipeline_blob({
+            "format": 2,
+            "partition": pipeline.partition,
+            "chunk_size": pipeline.chunk_size,
+            "cursor": 0,
+            "updates_ingested": pipeline.updates_ingested,
+            "shards": pipeline.shards,
+        }, shard_blobs)
+        with ShardedPipeline.restore(legacy, backend="process") as restored:
+            mine = state_arrays(pipeline.merged())
+            theirs = state_arrays(restored.merged())
+            assert all(np.array_equal(a, b)
+                       for a, b in zip(mine, theirs))
+
+    def test_legacy_pipeline_stale_format_rejected(self):
+        legacy = _legacy_pipeline_blob({"format": 1}, [])
+        with pytest.raises(StaleCheckpoint):
+            ShardedPipeline.restore(legacy)

@@ -217,15 +217,12 @@ class TestRestoreShardsOverride:
         """The override must not bypass header validation: a cursor out
         of range for the *checkpointed* K is corruption even when the
         caller asks for a K it would fit."""
-        import json
+        from repro.wire import decode_frame, encode_frame
 
         _, blob = self._blob()
-        header_len = int.from_bytes(blob[6:10], "big")
-        header = json.loads(blob[10:10 + header_len].decode("utf-8"))
-        header["cursor"] = header["shards"]      # out of range at K=3
-        encoded = json.dumps(header).encode("utf-8")
-        tampered = (blob[:6] + len(encoded).to_bytes(4, "big") + encoded
-                    + blob[10 + header_len:])
+        frame = decode_frame(blob)
+        frame.header["cursor"] = frame.header["shards"]  # out of range
+        tampered = encode_frame(frame.kind, frame.header, frame.sections)
         with pytest.raises(ValueError, match="cursor"):
             ShardedPipeline.restore(tampered, shards=8)
 

@@ -133,15 +133,15 @@ class TestLifecycle:
         """A pipeline blob whose shard blobs carry different maps must
         be rejected at restore time — under the process backend this
         happens from the blob headers alone, before workers touch it."""
+        from repro.wire import KIND_PIPELINE, decode_frame, encode_frame
+
         pipeline = ShardedPipeline(self.FACTORY, shards=2)
         blob = pipeline.checkpoint()
         alien = checkpoint(L0Sampler(64, delta=0.2, seed=99))
-        header_len = int.from_bytes(blob[6:10], "big")
-        offset = 10 + header_len
-        shard0_len = int.from_bytes(blob[offset:offset + 8], "big")
-        shard0 = blob[offset:offset + 8 + shard0_len]
-        tampered = (blob[:offset] + shard0
-                    + len(alien).to_bytes(8, "big") + alien)
+        frame = decode_frame(blob, expect_kind=KIND_PIPELINE)
+        tampered = encode_frame(
+            KIND_PIPELINE, frame.header,
+            [frame.sections[0], np.frombuffer(alien, dtype=np.uint8)])
         for backend in ("serial", "process"):
             with pytest.raises(IncompatibleShards, match="seed|map"):
                 ShardedPipeline.restore(tampered, backend=backend)

@@ -437,7 +437,10 @@ class TestBaselineRefresh:
         # same call succeeds once the tree is clean again
         (root / "scratch.txt").unlink()
         path = write_baseline(ctx)
-        assert json.loads(path.read_text())["format_version"] == 2
+        written = json.loads(path.read_text())
+        assert written["format_version"] == 3
+        assert written["wire_version"] == 1
+        assert "WireFormat" in written["entries"]
 
     def test_allow_dirty_overrides(self, tmp_path):
         root = _copy_repo(tmp_path)
