@@ -1,0 +1,132 @@
+"""A networked monitoring stack: daemon, dashboards, warm standby.
+
+Everything PR 8 added, in one process:
+
+1. a **daemon** (:class:`ServerThread` around a :class:`QueryService`
+   serving a count-median heavy-hitters structure) on an ephemeral
+   localhost port — the exact stack ``repro daemon --listen`` runs;
+2. an **ingest feed** pushing skewed turnstile batches over the
+   socket, each ack naming its position in the server's epoch order;
+3. two **dashboard clients** asking different questions concurrently —
+   one tracks the valid heavy-hitters set, one tracks the L1 mass and
+   service stats;
+4. a **warm standby** (:class:`SocketFollower`) subscribed to the
+   delta stream, which catches up, verifies it is byte-identical to
+   the leader's over-the-wire checkpoint and *promotes* — finishing
+   the failover story locally, no second process needed.
+
+Run:  python examples/network_dashboard.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro.engine import ShardedPipeline
+from repro.engine import checkpoint as snapshot_structure
+from repro.net import ReproClient, ServerThread, SocketFollower
+from repro.service import QueryService
+from repro.apps.heavy_hitters import CountMedianHeavyHitters
+
+UNIVERSE = 2048
+SHARDS = 2
+BATCHES = 6
+BATCH = 2_000
+SEED = 2011
+
+
+def skewed_batches():
+    """A turnstile stream with three planted heavy coordinates."""
+    rng = np.random.default_rng(SEED)
+    hot = rng.choice(UNIVERSE, size=3, replace=False)
+    for _ in range(BATCHES):
+        indices = rng.integers(0, UNIVERSE, size=BATCH, dtype=np.int64)
+        deltas = rng.integers(-2, 5, size=BATCH, dtype=np.int64)
+        mask = rng.random(BATCH) < 0.25
+        indices[mask] = rng.choice(hot, size=int(mask.sum()))
+        deltas[mask] = np.abs(deltas[mask]) + 2
+        yield indices, deltas
+
+
+def dashboard(host, port, name, op, kwargs, lines):
+    """One dashboard client: re-ask its question as epochs advance."""
+    with ReproClient(host, port) as client:
+        seen = -1
+        while seen < BATCHES * BATCH:
+            answer = client.query(op, **kwargs)
+            if answer.epoch != seen:
+                seen = answer.epoch
+                lines.append(f"  [{name}] epoch {seen:>6,}: "
+                             f"{_brief(answer.result)}")
+
+
+def _brief(result):
+    text = str(result)
+    return text if len(text) <= 64 else text[:61] + "..."
+
+
+def main():
+    pipeline = ShardedPipeline(
+        lambda: CountMedianHeavyHitters(UNIVERSE, phi=0.05, seed=SEED),
+        shards=SHARDS, chunk_size=1024)
+    print("=== the daemon ===")
+    with QueryService(pipeline, refresh_every=1, keep=8,
+                      cache_size=64) as service, \
+            ServerThread(service) as server:
+        print(f"serving CountMedianHeavyHitters x {SHARDS} shards on "
+              f"{server.host}:{server.port}")
+
+        print("\n=== feed + two dashboards + one standby ===")
+        hh_lines, norm_lines = [], []
+        with ReproClient(server.host, server.port) as feed, \
+                SocketFollower(server.host, server.port) as standby:
+            watchers = [
+                threading.Thread(target=dashboard, args=(
+                    server.host, server.port, "hh", "heavy_hitters",
+                    {"phi": 0.1}, hh_lines)),
+                threading.Thread(target=dashboard, args=(
+                    server.host, server.port, "l1", "norm",
+                    {"p": 1.0}, norm_lines)),
+            ]
+            for w in watchers:
+                w.start()
+            final_epoch = 0
+            for indices, deltas in skewed_batches():
+                reply = feed.ingest(indices, deltas)
+                final_epoch = reply.result["epoch"]
+            for w in watchers:
+                w.join(timeout=60)
+            print(f"fed {BATCHES} batches; leader at epoch "
+                  f"{final_epoch:,}")
+            print("\nheavy-hitters dashboard saw:")
+            print("\n".join(hh_lines[-3:]))
+            print("\nL1 dashboard saw:")
+            print("\n".join(norm_lines[-3:]))
+
+            stats = feed.stats()
+            print(f"\nserver stats: {stats['queries']} queries "
+                  f"({stats['cache_hits']} cache hits), "
+                  f"{stats['ingest_updates']:,} updates ingested")
+
+            print("\n=== failover: promote the standby ===")
+            standby.wait_for_epoch(final_epoch, timeout=60)
+            wire = feed.checkpoint()
+            restored = ShardedPipeline.restore(wire)
+            identical = (snapshot_structure(restored.merged())
+                         == snapshot_structure(standby.merged()))
+            restored.close()
+            print(f"standby at epoch {standby.epoch:,} after "
+                  f"{len(standby.acked_epochs)} delta frames; "
+                  f"byte-identical to the leader: {identical}")
+            promoted = standby.promote(shards=SHARDS)
+            hh = promoted.merged().heavy_hitters(phi=0.1)
+            promoted.close()
+            print(f"promoted standby answers heavy_hitters(0.1): "
+                  f"{sorted(int(i) for i in hh)}")
+            if not identical:
+                raise SystemExit("standby diverged from the leader")
+    print("\ndaemon drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,8 @@ class LintConfig:
     shm_modules: tuple = ("engine/shm.py",)
     #: Subtrees subject to the numpy-overflow rules (R006).
     numeric_paths: tuple = ("sketch", "hashing")
+    #: Subtrees whose ``async def`` bodies must not block (R007).
+    async_paths: tuple = ("net",)
     #: Modules whose integer arithmetic was hand-audited for wrap
     #: safety (the PR-5 fused-kernel set): exempt from the R006
     #: arithmetic checks, NOT from the dtype-less-literal check.
@@ -152,6 +154,7 @@ class LintContext:
 
 def default_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, id order."""
+    from .rules_async import AsyncHygieneRule
     from .rules_determinism import DeterminismRule
     from .rules_format import FormatDisciplineRule
     from .rules_kernels import KernelOraclePairingRule
@@ -161,7 +164,8 @@ def default_rules() -> list[Rule]:
 
     return [DeterminismRule(), RegistryCompletenessRule(),
             KernelOraclePairingRule(), MpShmHygieneRule(),
-            FormatDisciplineRule(), NumpyOverflowRule()]
+            FormatDisciplineRule(), NumpyOverflowRule(),
+            AsyncHygieneRule()]
 
 
 def rule_table(rules=None) -> dict[str, str]:

@@ -1,0 +1,154 @@
+"""R007: async hygiene — coroutine bodies must not block the loop.
+
+The daemon (``src/repro/net/``) runs every connection on one event
+loop; a single synchronous call inside an ``async def`` stalls *every*
+client at once, and nothing crashes — the failure is a latency cliff
+that no unit test trips.  So the contract is enforced statically:
+inside coroutine bodies under the configured ``async_paths`` subtrees,
+
+* ``time.sleep(...)`` is banned (use ``await asyncio.sleep``),
+* synchronous socket I/O is banned — calls on the ``socket`` module
+  (``socket.socket``, ``socket.create_connection``, ...) and the
+  distinctive blocking socket methods (``recv``/``recv_into``/
+  ``recvfrom``/``sendall``/``accept``) on any object (use asyncio
+  streams),
+* constructing a blocking ``queue.Queue``/``SimpleQueue`` is banned —
+  its ``get()`` blocks without yielding (use ``asyncio.Queue``).
+
+Synchronous helpers in the same files (the blocking client, thread
+wrappers) are untouched: only ``async def`` bodies are scanned, and a
+nested ``def`` inside a coroutine is a new (synchronous) scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import FileInfo, Finding, Rule
+
+#: Socket methods that block by design; generic names (``send``,
+#: ``connect``) are left out to keep the rule precise.
+_BLOCKING_SOCKET_METHODS = ("accept", "recv", "recv_into", "recvfrom",
+                            "recvfrom_into", "sendall")
+
+
+class AsyncHygieneRule(Rule):
+    rule_id = "R007"
+    title = ("async def bodies in the network subsystem must not make "
+             "blocking calls")
+    rationale = ("the daemon multiplexes every connection on one event "
+                 "loop; one synchronous sleep, socket call or "
+                 "queue.Queue.get stalls all clients at once")
+
+    def check_file(self, info: FileInfo, ctx) -> list[Finding]:
+        if not ctx.in_paths(info, ctx.config.async_paths):
+            return []
+        aliases = _module_aliases(info.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for call in _calls_in_coroutine(node):
+                    findings.extend(
+                        self._check_call(info, node.name, call, aliases))
+        return findings
+
+    def _check_call(self, info, func_name: str, call: ast.Call,
+                    aliases: dict) -> list[Finding]:
+        target = call.func
+        where = f"inside async def {func_name}"
+        # time.sleep(...) / sleep(...) imported from time
+        if _is_module_attr(target, aliases["time"], "sleep") \
+                or _is_imported_name(target, aliases["time_sleep"]):
+            return [self.finding(
+                info, call.lineno,
+                f"blocking time.sleep() {where} — use "
+                f"'await asyncio.sleep(...)'")]
+        # socket.anything(...): constructing or driving a sync socket
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id in aliases["socket"]:
+            return [self.finding(
+                info, call.lineno,
+                f"synchronous socket call socket.{target.attr}() "
+                f"{where} — use asyncio streams "
+                f"(asyncio.open_connection / start_server)")]
+        if _is_imported_name(target, aliases["socket_names"]):
+            return [self.finding(
+                info, call.lineno,
+                f"synchronous socket call {target.id}() {where} — "
+                f"use asyncio streams")]
+        # obj.recv(...) etc.: blocking socket methods on any receiver
+        if isinstance(target, ast.Attribute) \
+                and target.attr in _BLOCKING_SOCKET_METHODS:
+            return [self.finding(
+                info, call.lineno,
+                f"blocking socket I/O .{target.attr}() {where} — "
+                f"use asyncio streams")]
+        # queue.Queue() / Queue() from the queue module: its get()
+        # blocks the loop without yielding
+        if (_is_module_attr(target, aliases["queue"], "Queue")
+                or _is_module_attr(target, aliases["queue"],
+                                   "SimpleQueue")
+                or _is_imported_name(target, aliases["queue_names"])):
+            return [self.finding(
+                info, call.lineno,
+                f"blocking queue.Queue {where} (its get() stalls the "
+                f"loop) — use asyncio.Queue")]
+        return []
+
+
+def _calls_in_coroutine(node: ast.AsyncFunctionDef):
+    """Every Call in the coroutine's own body — nested function
+    definitions (sync or async) are separate scopes and are skipped
+    (nested ``async def`` gets its own visit from the walk)."""
+    stack = list(node.body)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(item, ast.Call):
+            yield item
+        stack.extend(ast.iter_child_nodes(item))
+
+
+def _module_aliases(tree: ast.Module) -> dict:
+    """Name bindings relevant to the rule: aliases of the ``time``,
+    ``socket`` and ``queue`` modules, plus names imported *from*
+    them."""
+    aliases = {"time": set(), "socket": set(), "queue": set(),
+               "time_sleep": set(), "socket_names": set(),
+               "queue_names": set()}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name in ("time", "socket", "queue"):
+                    aliases[name.name].add(name.asname or name.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for name in node.names:
+                    if name.name == "sleep":
+                        aliases["time_sleep"].add(
+                            name.asname or name.name)
+            elif node.module == "socket":
+                for name in node.names:
+                    aliases["socket_names"].add(
+                        name.asname or name.name)
+            elif node.module == "queue":
+                for name in node.names:
+                    if name.name in ("Queue", "SimpleQueue",
+                                     "LifoQueue", "PriorityQueue"):
+                        aliases["queue_names"].add(
+                            name.asname or name.name)
+    return aliases
+
+
+def _is_module_attr(target, module_aliases: set, attr: str) -> bool:
+    return (isinstance(target, ast.Attribute)
+            and target.attr == attr
+            and isinstance(target.value, ast.Name)
+            and target.value.id in module_aliases)
+
+
+def _is_imported_name(target, names: set) -> bool:
+    return isinstance(target, ast.Name) and target.id in names

@@ -14,6 +14,8 @@ Commands
 ``engine``      sharded ingestion: partition, checkpoint/resume, merge
 ``serve``       snapshot-isolated query service over a live stream
 ``follow``      leader/follower replication over a delta stream
+``daemon``      the same service behind a socket (asyncio frame server)
+``client``      talk to a running daemon: ingest/query/stats/follow
 """
 
 from __future__ import annotations
@@ -181,8 +183,97 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: a temporary file)")
     follow.add_argument("--seed", type=int, default=0)
 
+    daemon = sub.add_parser(
+        "daemon", help="serve the query service over a socket: an "
+                       "asyncio frame server with ingest, the full "
+                       "query algebra, live replication and graceful "
+                       "drain on SIGTERM")
+    daemon.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="listen address (port 0 binds an "
+                             "ephemeral port, printed once bound)")
+    daemon.add_argument("--structure",
+                        choices=["count-sketch", "l0", "l1", "hh",
+                                 "ams"],
+                        default="hh")
+    daemon.add_argument("-n", "--universe", type=int, default=4096)
+    daemon.add_argument("--shards", type=int, default=4)
+    daemon.add_argument("--chunk", type=int, default=4096)
+    daemon.add_argument("--backend", choices=["serial", "process"],
+                        default="serial")
+    daemon.add_argument("--transport", choices=["pickle", "shm"],
+                        default=None,
+                        help="process-backend chunk transport (pickle "
+                             "or zero-copy shm slot rings)")
+    daemon.add_argument("--refresh-every", type=int, default=None,
+                        metavar="N",
+                        help="auto-capture a snapshot every N ingested "
+                             "updates (default 1: every ingest batch "
+                             "is a queryable epoch)")
+    daemon.add_argument("--keep", type=int, default=4,
+                        help="how many epochs stay queryable")
+    daemon.add_argument("--cache-size", type=int, default=128,
+                        help="LRU result-cache capacity (0 disables)")
+    daemon.add_argument("--watermark-high", type=float, default=None,
+                        metavar="RATE")
+    daemon.add_argument("--watermark-low", type=float, default=None,
+                        metavar="RATE")
+    daemon.add_argument("--watermark-sustain", type=int, default=3)
+    daemon.add_argument("--max-shards", type=int, default=8)
+    daemon.add_argument("--queue-depth", type=int, default=64,
+                        help="per-connection outbound queue bound "
+                             "(the backpressure knob)")
+    daemon.add_argument("--drain-timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="how long shutdown waits for in-flight "
+                             "requests before cancelling them")
+    daemon.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                        help="write the final checkpoint frame here "
+                             "on graceful shutdown")
+    daemon.add_argument("--compress", choices=["none", "zlib"],
+                        default=None,
+                        help="compression of the shutdown checkpoint "
+                             "frame (default none)")
+    daemon.add_argument("--replicate-compress",
+                        choices=["none", "zlib"], default=None,
+                        help="compression of the delta frames streamed "
+                             "at subscribed followers (default zlib)")
+    daemon.add_argument("--max-subscribers", type=int, default=None,
+                        metavar="K",
+                        help="refuse subscribe beyond K live followers "
+                             "(default: unlimited)")
+    daemon.add_argument("--seed", type=int, default=0)
+
+    client = sub.add_parser(
+        "client", help="talk to a running repro daemon")
+    client.add_argument("action",
+                        choices=["ping", "health", "ready", "stats",
+                                 "ops", "query", "ingest", "follow"])
+    client.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="daemon address")
+    client.add_argument("--queries", default=None, metavar="SPEC",
+                        help="for 'query': comma-separated ops, each "
+                             "'op' or 'op:arg' (as in serve "
+                             "--queries)")
+    client.add_argument("--at", type=int, default=None, metavar="EPOCH",
+                        help="for 'query': answer from this retained "
+                             "epoch instead of the newest snapshot")
+    client.add_argument("-n", "--universe", type=int, default=4096,
+                        help="for 'ingest': synthetic stream universe")
+    client.add_argument("--updates", type=int, default=10_000,
+                        help="for 'ingest': synthetic stream length")
+    client.add_argument("--batches", type=int, default=5,
+                        help="for 'ingest': how many batches to ship")
+    client.add_argument("--until-epoch", type=int, default=None,
+                        metavar="EPOCH",
+                        help="for 'follow': tail the delta stream "
+                             "until the standby reaches this epoch "
+                             "(default: drain whatever is available)")
+    client.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS")
+    client.add_argument("--seed", type=int, default=0)
+
     lint = sub.add_parser(
-        "lint", help="check the project invariants (R001-R006) "
+        "lint", help="check the project invariants (R001-R007) "
                      "statically; the blocking CI gate")
     lint.add_argument("--root", default=".",
                       help="repository root to lint (default: cwd)")
@@ -476,15 +567,23 @@ _SERVE_DEFAULT_QUERIES = {
 
 
 def _parse_serve_queries(spec: str, served_type) -> list:
+    """Parse a query spec against a local structure type."""
+    from repro.engine import query_capabilities
+
+    return _parse_query_spec(spec, set(query_capabilities(served_type)),
+                             served_type.__name__)
+
+
+def _parse_query_spec(spec: str, supported: set, type_name: str) -> list:
     """``"op,op:arg,..."`` -> [(label, op, kwargs)]; ValueError says
     what's wrong (unknown op, unsupported by the structure, malformed
     arg).  The label is the spec item as the user wrote it, so two
     invocations of one op with different arguments stay distinct in
-    the report."""
-    from repro.engine import query_algebra, query_capabilities
+    the report.  ``supported`` is the op-name set the target serves —
+    locally introspected (serve) or reported by a daemon (client)."""
+    from repro.engine import query_algebra
 
     algebra = query_algebra()
-    supported = query_capabilities(served_type)
     parsed = []
     for item in spec.split(","):
         item = item.strip()
@@ -501,7 +600,7 @@ def _parse_serve_queries(spec: str, served_type) -> list:
                 f"{', '.join(algebra)}")
         if op not in supported:
             raise ValueError(
-                f"{served_type.__name__} does not support {op!r}; it "
+                f"{type_name} does not support {op!r}; it "
                 f"supports: {', '.join(sorted(supported)) or 'nothing'}")
         kwargs = {}
         if raw:
@@ -544,24 +643,20 @@ def _serve_policy(args, batch: int):
                            min_batch=max(1, min(256, batch)))
 
 
-def _cmd_serve(args) -> int:
-    """Ingest-while-query: feed a synthetic stream in batches and
-    answer the requested queries from epoch-versioned snapshots after
-    every batch, then report the service counters."""
+def _service_structures(n: int, seed: int) -> tuple[dict, dict]:
+    """The servable structure zoo: ``(factories, served_types)`` maps
+    shared by ``serve`` (in-process loop) and ``daemon`` (socket)."""
     from repro.core import L0Sampler, L1Sampler
     from repro.apps.heavy_hitters import CountMedianHeavyHitters
     from repro.sketch import AMSSketch, CountSketch
 
-    n = args.universe
     factories = {
-        "count-sketch": lambda: CountSketch(n, m=32, rows=9,
-                                            seed=args.seed),
-        "l0": lambda: L0Sampler(n, delta=0.1, seed=args.seed),
-        "l1": lambda: L1Sampler(n, eps=0.5, seed=args.seed, rounds=4),
-        "hh": lambda: CountMedianHeavyHitters(n, phi=0.1, seed=args.seed,
+        "count-sketch": lambda: CountSketch(n, m=32, rows=9, seed=seed),
+        "l0": lambda: L0Sampler(n, delta=0.1, seed=seed),
+        "l1": lambda: L1Sampler(n, eps=0.5, seed=seed, rounds=4),
+        "hh": lambda: CountMedianHeavyHitters(n, phi=0.1, seed=seed,
                                               strict=False),
-        "ams": lambda: AMSSketch(n, groups=7, per_group=6,
-                                 seed=args.seed),
+        "ams": lambda: AMSSketch(n, groups=7, per_group=6, seed=seed),
     }
     served_types = {
         "count-sketch": CountSketch,
@@ -570,6 +665,34 @@ def _cmd_serve(args) -> int:
         "hh": CountMedianHeavyHitters,
         "ams": AMSSketch,
     }
+    return factories, served_types
+
+
+def _parse_listen(spec: str, flag: str = "--listen") -> tuple[str, int]:
+    """``HOST:PORT`` -> (host, port); ValueError names what's wrong
+    (missing colon, empty host, non-numeric or out-of-range port).
+    Port 0 is legal: bind an ephemeral port (printed once bound)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"{flag} must be HOST:PORT, not {spec!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"{flag} port must be an integer, not {port_text!r}") \
+            from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"{flag} port must be in 0..65535, not {port}")
+    return host, port
+
+
+def _cmd_serve(args) -> int:
+    """Ingest-while-query: feed a synthetic stream in batches and
+    answer the requested queries from epoch-versioned snapshots after
+    every batch, then report the service counters."""
+    n = args.universe
+    factories, served_types = _service_structures(n, args.seed)
     served_type = served_types[args.structure]
 
     # Flag validation first — a bad spec must fail before any
@@ -756,6 +879,224 @@ def _cmd_follow(args) -> int:
     return 0 if identical else 1
 
 
+def _cmd_daemon(args) -> int:
+    """Run the asyncio frame server until SIGTERM/SIGINT, then drain
+    and (optionally) write the final checkpoint frame."""
+    # Flag validation first — a bad spec must fail before any
+    # structure is built, worker processes spawn or sockets bind.
+    try:
+        if args.universe < 8:
+            raise ValueError("--universe must be >= 8")
+        if args.shards < 1:
+            raise ValueError("--shards must be >= 1")
+        if args.chunk < 1:
+            raise ValueError("--chunk must be >= 1")
+        if args.refresh_every is not None and args.refresh_every < 1:
+            raise ValueError(
+                f"--refresh-every must be >= 1, not {args.refresh_every}")
+        if args.keep < 1:
+            raise ValueError(f"--keep must be >= 1, not {args.keep}")
+        if args.cache_size < 0:
+            raise ValueError(
+                f"--cache-size must be >= 0, not {args.cache_size}")
+        if args.queue_depth < 1:
+            raise ValueError(
+                f"--queue-depth must be >= 1, not {args.queue_depth}")
+        if args.drain_timeout <= 0:
+            raise ValueError(
+                f"--drain-timeout must be > 0, not {args.drain_timeout}")
+        if args.max_subscribers is not None and args.max_subscribers < 1:
+            raise ValueError(
+                f"--max-subscribers must be >= 1, not "
+                f"{args.max_subscribers}")
+        if args.transport is not None and args.backend != "process":
+            raise ValueError("--transport requires --backend process")
+        policy = _serve_policy(args, 256)
+        if args.listen is None:
+            extras = [flag for flag, value in
+                      (("--replicate-compress", args.replicate_compress),
+                       ("--max-subscribers", args.max_subscribers))
+                      if value is not None]
+            if extras:
+                raise ValueError(
+                    f"replication flags ({', '.join(extras)}) require "
+                    f"--listen")
+            raise ValueError("--listen HOST:PORT is required")
+        host, port = _parse_listen(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    import asyncio
+    import signal
+
+    from repro.engine import ShardedPipeline
+    from repro.net import ReproServer
+    from repro.service import QueryService
+
+    factories, _ = _service_structures(args.universe, args.seed)
+    refresh = (args.refresh_every if args.refresh_every is not None
+               else 1)
+    pipeline = ShardedPipeline(factories[args.structure],
+                               shards=args.shards,
+                               chunk_size=args.chunk,
+                               backend=args.backend,
+                               transport=args.transport)
+
+    async def _run(svc) -> None:
+        server = ReproServer(
+            svc, host, port,
+            queue_depth=args.queue_depth,
+            checkpoint_out=args.checkpoint_out,
+            checkpoint_compress=args.compress or "none",
+            replicate_compress=args.replicate_compress or "zlib",
+            max_subscribers=args.max_subscribers,
+            drain_timeout=args.drain_timeout)
+        await server.start()
+        # One parseable line: tests (and humans) read the bound port
+        # back from it when --listen used port 0.
+        print(f"repro daemon: serving {args.structure} x "
+              f"{args.shards} shards on {server.host}:{server.port} "
+              f"(backend={args.backend}, refresh every {refresh} "
+              f"updates)", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_shutdown)
+        await server.wait_stopped()
+        print(f"repro daemon: drained at epoch "
+              f"{svc.pipeline.updates_ingested}", flush=True)
+        if server.checkpoint_out is not None:
+            print(f"checkpoint written: {server.checkpoint_out} "
+                  f"({len(server.checkpoint_blob)} bytes, epoch "
+                  f"{svc.pipeline.updates_ingested})", flush=True)
+
+    with QueryService(pipeline, refresh_every=refresh, keep=args.keep,
+                      cache_size=args.cache_size, policy=policy) as svc:
+        asyncio.run(_run(svc))
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """One action against a running daemon; transport failures exit 1
+    with a message, flag misuse exits 2 before connecting."""
+    import json
+
+    try:
+        if args.connect is None:
+            raise ValueError("--connect HOST:PORT is required")
+        host, port = _parse_listen(args.connect, flag="--connect")
+        if args.timeout <= 0:
+            raise ValueError(
+                f"--timeout must be > 0, not {args.timeout}")
+        if args.action == "query" and args.queries is None:
+            raise ValueError("the query action requires --queries SPEC")
+        if args.action == "ingest":
+            if args.universe < 8:
+                raise ValueError("--universe must be >= 8")
+            if args.updates < 1:
+                raise ValueError("--updates must be >= 1")
+            if args.batches < 1:
+                raise ValueError("--batches must be >= 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.net import NetError, ReproClient, SocketFollower
+
+    try:
+        if args.action == "follow":
+            return _client_follow(args, host, port)
+        with ReproClient(host, port, timeout=args.timeout) as client:
+            if args.action == "ping":
+                reply = client.ping()
+                print(f"pong @ epoch {reply.meta.get('epoch')}")
+            elif args.action in ("health", "stats", "ops"):
+                result = {"health": client.health,
+                          "stats": client.stats,
+                          "ops": client.operations}[args.action]()
+                print(json.dumps(result, indent=2, sort_keys=True))
+            elif args.action == "ready":
+                ready = client.ready()
+                print("ready" if ready else "not ready (draining)")
+                return 0 if ready else 1
+            elif args.action == "ingest":
+                return _client_ingest(args, client)
+            else:
+                return _client_query(args, client)
+    except (ConnectionError, TimeoutError, OSError, NetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _client_query(args, client) -> int:
+    from repro.net import NetError
+
+    health = client.health()
+    supported = set(client.operations())
+    try:
+        queries = _parse_query_spec(args.queries, supported,
+                                    health["structure"])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for label, op, kwargs in queries:
+        try:
+            answer = client.query(op, at=args.at, **kwargs)
+        except NetError as exc:
+            print(f"  {label}: error {exc}", file=sys.stderr)
+            return 1
+        text = str(answer.result)
+        print(f"  {label} @ epoch {answer.epoch}: "
+              f"{text[:70] + ' ...' if len(text) > 70 else text}")
+    return 0
+
+
+def _client_ingest(args, client) -> int:
+    rng = np.random.default_rng(np.random.SeedSequence((args.seed,
+                                                        0x4E7)))
+    n = args.universe
+    indices = rng.integers(0, n, size=args.updates, dtype=np.int64)
+    deltas = rng.integers(-3, 10, size=args.updates, dtype=np.int64)
+    hot = rng.choice(n, size=3, replace=False)
+    hot_mask = rng.random(args.updates) < 0.2
+    indices[hot_mask] = rng.choice(hot, size=int(hot_mask.sum()))
+    deltas[hot_mask] = np.abs(deltas[hot_mask]) + 1
+    batch = max(1, args.updates // args.batches)
+    epoch = None
+    for start in range(0, args.updates, batch):
+        stop = min(start + batch, args.updates)
+        reply = client.ingest(indices[start:stop], deltas[start:stop])
+        epoch = reply.result["epoch"]
+        print(f"  ingested {reply.result['count']} updates -> "
+              f"epoch {epoch}")
+    print(f"done: {args.updates} updates over n={n}, server at "
+          f"epoch {epoch}")
+    return 0
+
+
+def _client_follow(args, host: str, port: int) -> int:
+    from repro.net import SocketFollower
+
+    with SocketFollower(host, port, timeout=args.timeout) as follower:
+        print(f"subscribed: base epoch {follower.base_epoch} "
+              f"({follower.follower.shard_type.__name__})")
+        if args.until_epoch is not None:
+            applied = follower.wait_for_epoch(args.until_epoch,
+                                              timeout=args.timeout)
+        else:
+            applied = follower.poll(timeout=min(1.0, args.timeout))
+        print(f"follower applied {applied} deltas; standby at epoch "
+              f"{follower.epoch} "
+              f"({len(follower.acked_epochs)} acked states)")
+        promoted = follower.promote()
+        merged = promoted.merged()
+        promoted.close()
+        print(f"promoted standby serves {type(merged).__name__} "
+              f"at epoch {follower.epoch}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Imported lazily: the analysis package is pure stdlib but there is
     # no reason to parse rule modules for the workload subcommands.
@@ -797,6 +1138,8 @@ def main(argv=None) -> int:
         "engine": _cmd_engine,
         "serve": _cmd_serve,
         "follow": _cmd_follow,
+        "daemon": _cmd_daemon,
+        "client": _cmd_client,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -1,0 +1,67 @@
+"""The network subsystem: a daemon shell over :class:`QueryService`.
+
+Everything below the socket already existed — the sharded engine, the
+snapshot-isolated query service, and the self-delimiting ``RPROWF``
+wire frames whose delta checkpoints double as replication messages.
+This package adds only the transport:
+
+* :mod:`repro.net.protocol` — request/response/error/event envelopes
+  carried in the same frame machinery, plus :class:`FrameDecoder`,
+  the incremental (streaming) twin of ``wire.split_frames``;
+* :mod:`repro.net.server` — :class:`ReproServer`, an asyncio daemon
+  wrapping one :class:`~repro.service.service.QueryService`
+  (concurrent clients, ingest + the full query algebra, health/ready/
+  stats, bounded per-connection queues, graceful drain on SIGTERM
+  with a final checkpoint frame), and :class:`ServerThread` for
+  in-process embedding in tests/benchmarks/examples;
+* :mod:`repro.net.replication` — :class:`SocketFollower`, the client
+  side of the ``subscribe`` op: tails the leader's base + delta frame
+  stream into a :class:`~repro.engine.follower.FollowerPipeline` that
+  ends byte-identical and can ``promote()``;
+* :mod:`repro.net.client` — :class:`ReproClient`, a small blocking
+  client (connect/ingest/query/stats/subscribe) used by the
+  ``repro client`` CLI and the tests.
+
+The library path stays untouched: the server holds the service, the
+wire format is the one every checkpoint already uses, so checkpoints,
+replication messages and network requests are the same bytes.
+"""
+
+from .client import Answer, NetError, ReproClient
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    Reply,
+    Request,
+    decode_reply,
+    decode_request,
+    encode_error,
+    encode_event,
+    encode_request,
+    encode_response,
+    to_jsonable,
+)
+from .replication import SocketFollower
+from .server import ReproServer, ServerThread
+
+__all__ = [
+    "Answer",
+    "FrameDecoder",
+    "NetError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Reply",
+    "ReproClient",
+    "ReproServer",
+    "Request",
+    "ServerThread",
+    "SocketFollower",
+    "decode_reply",
+    "decode_request",
+    "encode_error",
+    "encode_event",
+    "encode_request",
+    "encode_response",
+    "to_jsonable",
+]

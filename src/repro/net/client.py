@@ -1,0 +1,195 @@
+"""A small blocking client for the repro daemon.
+
+One socket, one request in flight at a time (the server answers in
+order).  Server-side failures come back as :class:`NetError` carrying
+the exception type name and message from the error envelope; transport
+failures surface as the usual :class:`ConnectionError` /
+:class:`TimeoutError`.  Used by the ``repro client`` CLI, the tests
+and the benchmarks; :class:`~repro.net.replication.SocketFollower`
+drives one of these for the subscription stream.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import NamedTuple
+
+import numpy as np
+
+from ..wire import KIND_ERROR, KIND_PIPELINE, KIND_RESPONSE, peek_kind
+from .protocol import (FrameDecoder, ProtocolError, Reply, decode_reply,
+                       encode_request)
+
+
+class NetError(RuntimeError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, error: str, message: str, op: str = ""):
+        super().__init__(f"{error}: {message}" if message else error)
+        self.error = error
+        self.detail = message
+        self.op = op
+
+
+class Answer(NamedTuple):
+    """A query result plus the epoch of the snapshot that answered."""
+
+    result: object
+    epoch: int
+
+
+class ReproClient:
+    """Connect/ingest/query/stats/subscribe against one daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._timeout = float(timeout)
+        self._decoder = FrameDecoder()
+        self._pending: list[bytes] = []
+        self._next_id = 1
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- frame transport -----------------------------------------------------
+
+    def next_frame(self, timeout: float | None = None) -> bytes | None:
+        """The next complete frame from the socket.
+
+        With a ``timeout``, returns None if no frame completes in
+        time; with ``timeout=None`` blocks under the connection's
+        default timeout (raising :class:`TimeoutError` if even that
+        expires).  Raises :class:`ConnectionError` on EOF.
+        """
+        if self._pending:
+            return self._pending.pop(0)
+        self._sock.settimeout(self._timeout if timeout is None
+                              else timeout)
+        while True:
+            try:
+                data = self._sock.recv(65536)
+            except TimeoutError:
+                if timeout is None:
+                    raise
+                return None
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+            if self._pending:
+                return self._pending.pop(0)
+
+    def request(self, op: str, args: dict | None = None,
+                sections=()) -> Reply:
+        """Send one request; block for its response.
+
+        Stream frames (deltas/events pushed at a subscribed
+        connection) arriving in between are queued for
+        :meth:`next_frame`, not lost.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_request(request_id, op, args,
+                                          sections))
+        scanned = 0
+        while True:
+            # Scan queued frames first, then pull from the socket —
+            # directly, never via next_frame (which serves the queue
+            # we are scanning and would hand the same stream frame
+            # back forever).
+            while scanned < len(self._pending):
+                blob = self._pending[scanned]
+                if _is_reply(blob):
+                    del self._pending[scanned]
+                    reply = decode_reply(blob)
+                    if reply.id != request_id:
+                        raise ProtocolError(
+                            f"response for request {reply.id}, "
+                            f"expected {request_id}")
+                    if not reply.ok:
+                        raise NetError(reply.error, reply.message,
+                                       op=reply.op)
+                    return reply
+                scanned += 1
+            self._recv_into_pending()
+
+    def _recv_into_pending(self) -> None:
+        """Block (connection timeout) until at least one more complete
+        frame lands on the queue; ConnectionError on EOF."""
+        self._sock.settimeout(self._timeout)
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            frames = self._decoder.feed(data)
+            if frames:
+                self._pending.extend(frames)
+                return
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> Reply:
+        return self.request("ping")
+
+    def health(self) -> dict:
+        return self.request("health").result
+
+    def ready(self) -> bool:
+        return bool(self.request("ready").result["ready"])
+
+    def stats(self) -> dict:
+        return self.request("stats").result
+
+    def operations(self) -> dict:
+        return self.request("operations").result
+
+    def ingest(self, indices, deltas) -> Reply:
+        """Ship one update batch; the reply's result carries ``count``,
+        ``epoch_before`` and ``epoch`` (the ack's position in the
+        server's total ingest order)."""
+        sections = (np.ascontiguousarray(indices, dtype=np.int64),
+                    np.ascontiguousarray(deltas, dtype=np.int64))
+        return self.request("ingest", sections=sections)
+
+    def query(self, op: str, *, at: int | None = None,
+              **args) -> Answer:
+        """One query-algebra call; returns ``(result, epoch)``."""
+        if at is not None:
+            args["at"] = int(at)
+        reply = self.request(op, args)
+        return Answer(reply.result, int(reply.meta.get("epoch", -1)))
+
+    def checkpoint(self, compress: str = "none") -> bytes:
+        """A full pipeline checkpoint frame, fetched over the wire."""
+        reply = self.request("checkpoint", {"compress": compress})
+        return reply.sections[0].astype(np.uint8).tobytes()
+
+    def subscribe(self) -> tuple[int, bytes]:
+        """Register as a follower: ``(epoch, base checkpoint frame)``.
+
+        After this, the connection receives one delta frame per epoch
+        advance via :meth:`next_frame` — feed them to a
+        :class:`~repro.engine.follower.FollowerPipeline` (or use
+        :class:`~repro.net.replication.SocketFollower`, which does).
+        """
+        reply = self.request("subscribe")
+        base = self.next_frame()
+        if base is None or peek_kind(base) != KIND_PIPELINE:
+            raise ProtocolError(
+                "subscribe must be followed by a full pipeline "
+                "checkpoint frame")
+        return int(reply.result["epoch"]), base
+
+
+def _is_reply(blob: bytes) -> bool:
+    return peek_kind(blob) in (KIND_RESPONSE, KIND_ERROR)

@@ -1,0 +1,117 @@
+"""Replication over the socket: the client side of ``subscribe``.
+
+PR 7 built the whole replication calculus — full base checkpoints,
+``checkpoint(since=...)`` delta frames, :class:`FollowerPipeline`
+chains with digest verification — over any byte transport, and left
+one follow-up: ship the stream over a socket once a daemon exists.
+:class:`SocketFollower` closes it.  The frames on the wire are the
+*same bytes* a file-tailing follower reads: the server checkpoints
+under its service lock, so the subscription response's base is a node
+of a gapless delta chain, and the follower ends byte-identical to the
+leader's merged state at every acked epoch (verified by the delta
+digests, not assumed).
+"""
+
+from __future__ import annotations
+
+from ..engine import FollowerPipeline
+from ..wire import KIND_DELTA, KIND_EVENT, peek_header, peek_kind
+from .client import ReproClient
+from .protocol import ProtocolError
+
+
+class SocketFollower:
+    """Tail a daemon's delta stream into a promotable warm standby.
+
+    Connects, subscribes, boots a
+    :class:`~repro.engine.follower.FollowerPipeline` from the base
+    checkpoint the server sends back, then applies every pushed delta
+    frame on :meth:`poll` / :meth:`wait_for_epoch`.  ``promote()``
+    turns the standby into a live pipeline exactly as in the file-based
+    flow — take-over in one call, socket or no socket.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._client = ReproClient(host, port, timeout=timeout)
+        self.base_epoch, base = self._client.subscribe()
+        self.follower = FollowerPipeline(base)
+        self.events: list[dict] = []
+        self._closed_by_server = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.follower.epoch
+
+    @property
+    def acked_epochs(self) -> tuple:
+        return self.follower.acked_epochs
+
+    def merged(self):
+        return self.follower.merged()
+
+    # -- tailing -------------------------------------------------------------
+
+    def poll(self, timeout: float = 0.05) -> int:
+        """Apply every delta frame available within ``timeout``;
+        returns how many advanced the state."""
+        applied = 0
+        while not self._closed_by_server:
+            try:
+                blob = self._client.next_frame(timeout=timeout)
+            except ConnectionError:
+                self._closed_by_server = True
+                break
+            if blob is None:
+                break
+            applied += self._route(blob)
+        return applied
+
+    def wait_for_epoch(self, epoch: int, timeout: float = 30.0) -> int:
+        """Poll until the follower reaches ``epoch``; returns the
+        number of deltas applied.  Raises :class:`TimeoutError` if the
+        stream does not get there in ``timeout`` seconds (a budget, not
+        a clock: counted in ~50 ms socket waits)."""
+        applied = 0
+        budget = max(1, int(float(timeout) / 0.05))
+        for _ in range(budget):
+            if self.follower.epoch >= epoch or self._closed_by_server:
+                break
+            applied += self.poll(timeout=0.05)
+        if self.follower.epoch < epoch:
+            raise TimeoutError(
+                f"follower stuck at epoch {self.follower.epoch}, "
+                f"waiting for {epoch}")
+        return applied
+
+    def _route(self, blob: bytes) -> int:
+        kind = peek_kind(blob)
+        if kind == KIND_DELTA:
+            return self.follower.follow([blob])
+        if kind == KIND_EVENT:
+            _, header = peek_header(blob)
+            self.events.append(header)
+            return 0
+        raise ProtocolError(
+            f"subscription stream carries an unexpected frame "
+            f"(kind {kind})")
+
+    # -- take-over -----------------------------------------------------------
+
+    def promote(self, backend: str = "serial", shards: int = 1,
+                transport: str | None = None):
+        """A live :class:`~repro.engine.pipeline.ShardedPipeline`
+        holding the standby state (the follower stays usable)."""
+        return self.follower.promote(backend=backend, shards=shards,
+                                     transport=transport)
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "SocketFollower":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

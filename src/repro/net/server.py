@@ -1,0 +1,449 @@
+"""The asyncio daemon: one :class:`QueryService` behind a socket.
+
+:class:`ReproServer` is deliberately a *shell*: every byte of state it
+serves lives in the :class:`~repro.service.service.QueryService` it
+wraps, and every blob it sends is one the library already produces —
+responses are protocol envelopes, replication messages are the
+pipeline's own ``checkpoint(since=...)`` delta frames.
+
+Concurrency model
+-----------------
+One event loop, one service lock.  Each connection gets a reader task
+(decode frames, execute requests) and a writer ("pump") task draining
+a bounded :class:`asyncio.Queue` — the per-connection backpressure
+boundary: when a client stops reading, its queue fills, its handler
+blocks on ``put`` and stops reading *that* socket; everyone else keeps
+being served.  All service access is serialized under one
+:class:`asyncio.Lock`, so a request is atomic against every other
+request — which is exactly what makes the epochs in ingest acks a
+total order an offline oracle can replay.
+
+Replication invariant: while subscribers exist, *every* epoch advance
+broadcasts one delta frame under the same lock that applied it, so the
+delta chain has no gaps and a new subscriber's full base checkpoint is
+always a node of that chain.  A subscriber too slow to drain its queue
+is disconnected (it can resubscribe from a fresh base) rather than
+allowed to stall ingestion.
+
+Shutdown (SIGTERM via :meth:`request_shutdown`): stop accepting, let
+connections finish the requests they have already received (up to
+``drain_timeout``), cancel stragglers, flush the pipeline and write a
+final full checkpoint frame to ``checkpoint_out``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..wire import WireError
+from .protocol import (FrameDecoder, ProtocolError, decode_request,
+                       encode_error, encode_event, encode_response,
+                       to_jsonable)
+
+#: Ops the server answers itself (everything else goes to the query
+#: algebra, whose registry rejects unknown ops loudly).
+CONTROL_OPS = ("ping", "health", "ready", "stats", "operations",
+               "checkpoint", "ingest", "subscribe")
+
+
+class ReproServer:
+    """Serve one :class:`QueryService` to concurrent socket clients.
+
+    Parameters
+    ----------
+    service:
+        The (already built) query service; the caller owns its
+        lifecycle.
+    host, port:
+        Listen address; port 0 picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    queue_depth:
+        Per-connection outbound queue bound — the backpressure knob.
+    checkpoint_out:
+        Path for the final full checkpoint frame written on shutdown
+        (None: keep it only in :attr:`checkpoint_blob`).
+    checkpoint_compress / replicate_compress:
+        Frame compression for the shutdown checkpoint and for the
+        delta frames streamed at subscribers.
+    max_subscribers:
+        Refuse ``subscribe`` beyond this many live followers (None:
+        unlimited).
+    drain_timeout:
+        Seconds shutdown waits for connections to finish in-flight
+        requests before cancelling them.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 *, queue_depth: int = 64,
+                 checkpoint_out: str | None = None,
+                 checkpoint_compress: str = "none",
+                 replicate_compress: str = "zlib",
+                 max_subscribers: int | None = None,
+                 drain_timeout: float = 5.0):
+        if queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, not {queue_depth}")
+        if max_subscribers is not None and max_subscribers < 1:
+            raise ValueError(
+                f"max_subscribers must be >= 1, not {max_subscribers}")
+        if drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0, not {drain_timeout}")
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.checkpoint_out = (Path(checkpoint_out)
+                               if checkpoint_out is not None else None)
+        self.checkpoint_blob: bytes | None = None
+        self._queue_depth = int(queue_depth)
+        self._checkpoint_compress = checkpoint_compress
+        self._replicate_compress = replicate_compress
+        self._max_subscribers = max_subscribers
+        self._drain_timeout = float(drain_timeout)
+        self._server: asyncio.AbstractServer | None = None
+        self._lock: asyncio.Lock | None = None
+        self._stopped: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        #: subscriber out-queue -> its connection's writer (to close a
+        #: follower that falls behind).
+        self._subscribers: dict[asyncio.Queue, asyncio.StreamWriter] = {}
+        self._repl_epoch: int | None = None
+        self._draining = False
+        self._shutdown_started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ReproServer":
+        """Bind and start accepting; resolves :attr:`host`/:attr:`port`
+        to the actual bound address."""
+        self._lock = asyncio.Lock()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        return self
+
+    async def wait_stopped(self) -> None:
+        """Block until a shutdown (requested or awaited) completes."""
+        await self._stopped.wait()
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe: schedule :meth:`shutdown` once."""
+        if not self._shutdown_started:
+            self._shutdown_started = True
+            asyncio.ensure_future(self.shutdown())
+
+    async def shutdown(self) -> bytes:
+        """Stop accepting, drain, flush, checkpoint; returns the final
+        checkpoint frame (also written to ``checkpoint_out``)."""
+        if self._draining:
+            await self._stopped.wait()
+            return self.checkpoint_blob
+        self._shutdown_started = True
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._tasks:
+            _, pending = await asyncio.wait(
+                set(self._tasks), timeout=self._drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        async with self._lock:
+            pipeline = self.service.pipeline
+            pipeline.flush()
+            blob = pipeline.checkpoint(
+                compress=self._checkpoint_compress)
+        self.checkpoint_blob = blob
+        if self.checkpoint_out is not None:
+            self.checkpoint_out.write_bytes(blob)
+        self._stopped.set()
+        return blob
+
+    # -- connections ---------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        out: asyncio.Queue = asyncio.Queue(maxsize=self._queue_depth)
+        pump = asyncio.create_task(self._pump(out, writer))
+        decoder = FrameDecoder()
+        try:
+            while not self._draining:
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionError, OSError):
+                    # Abrupt peer reset: not an error worth a log line,
+                    # just this connection's end.
+                    return
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except WireError as exc:
+                    await out.put(encode_error(0, "",
+                                               type(exc).__name__,
+                                               str(exc)))
+                    break
+                # Every decoded frame is a fully received request:
+                # answer them all, even if a drain started meanwhile.
+                for blob in frames:
+                    await self._serve_frame(blob, out, writer)
+            if self._draining:
+                await out.put(encode_event("draining", {
+                    "epoch": self.service.pipeline.updates_ingested}))
+        finally:
+            self._subscribers.pop(out, None)
+            _offer_sentinel(out)
+            try:
+                await asyncio.wait_for(pump, timeout=2.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pump.cancel()
+            writer.close()
+            self._tasks.discard(task)
+
+    async def _pump(self, out: asyncio.Queue, writer) -> None:
+        """The connection's single writer: drain the bounded queue."""
+        while True:
+            blob = await out.get()
+            if blob is None:
+                break
+            try:
+                writer.write(blob)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                break
+
+    async def _serve_frame(self, blob: bytes, out: asyncio.Queue,
+                           writer) -> None:
+        try:
+            request = decode_request(blob)
+        except WireError as exc:
+            await out.put(encode_error(0, "", type(exc).__name__,
+                                       str(exc)))
+            return
+        try:
+            async with self._lock:
+                if request.op == "subscribe":
+                    self._subscribe(request, out, writer)
+                    return
+                meta, result, sections = self._execute(request)
+                if request.op == "ingest":
+                    self._replicate()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # A bad request must answer, never kill the connection (or
+            # the server): surface the exception type + message.
+            await out.put(encode_error(request.id, request.op,
+                                       type(exc).__name__, str(exc)))
+            return
+        await out.put(encode_response(request.id, request.op, result,
+                                      meta=meta, sections=sections))
+
+    # -- request execution (service lock held) -------------------------------
+
+    def _execute(self, request) -> tuple:
+        """Run one non-subscribe op; returns (meta, result, sections)."""
+        op, args = request.op, dict(request.args)
+        svc = self.service
+        pipeline = svc.pipeline
+        if op == "ping":
+            return ({"epoch": pipeline.updates_ingested}, "pong", ())
+        if op == "health":
+            return ({}, {
+                "status": "draining" if self._draining else "serving",
+                "structure": svc.served_type.__name__,
+                "epoch": pipeline.updates_ingested,
+                "shards": pipeline.shards,
+                "connections": len(self._tasks),
+                "subscribers": len(self._subscribers),
+            }, ())
+        if op == "ready":
+            return ({}, {"ready": not self._draining}, ())
+        if op == "stats":
+            return ({"epoch": pipeline.updates_ingested},
+                    svc.stats.snapshot().to_dict(), ())
+        if op == "operations":
+            return ({}, svc.operations(), ())
+        if op == "checkpoint":
+            compress = str(args.pop("compress", "none"))
+            pipeline.flush()
+            blob = pipeline.checkpoint(compress=compress)
+            return ({"epoch": pipeline.updates_ingested},
+                    {"bytes": len(blob)},
+                    (np.frombuffer(blob, dtype=np.uint8),))
+        if op == "ingest":
+            if len(request.sections) != 2:
+                raise ProtocolError(
+                    f"ingest carries exactly two array sections "
+                    f"(indices, deltas), got {len(request.sections)}")
+            before = pipeline.updates_ingested
+            count = svc.ingest(request.sections[0],
+                               request.sections[1])
+            pipeline.flush()
+            epoch = pipeline.updates_ingested
+            # Advance the snapshot policy at the batch boundary so the
+            # acked epoch is queryable via ``at=`` (for the last
+            # ``keep`` batches) — snapshots otherwise only capture
+            # lazily on the next query, which would skip epochs.
+            svc.current()
+            return ({"epoch": epoch},
+                    {"count": count, "epoch": epoch,
+                     "epoch_before": before}, ())
+        # Everything else is the query algebra; the registry rejects
+        # unknown/unsupported ops with a message listing what works.
+        at = args.pop("at", None)
+        snapshot = (svc.snapshots.snapshot_at(int(at)) if at is not None
+                    else svc.current())
+        result = svc.router.query(snapshot, op, **args)
+        return ({"epoch": snapshot.epoch}, to_jsonable(result), ())
+
+    # -- replication ---------------------------------------------------------
+
+    def _subscribe(self, request, out: asyncio.Queue, writer) -> None:
+        """Register a follower: full base now, one delta per epoch
+        after (the base is checkpointed under the same lock, so it is
+        a node of the delta chain every later frame extends)."""
+        if (self._max_subscribers is not None
+                and len(self._subscribers) >= self._max_subscribers):
+            _offer(out, encode_error(
+                request.id, request.op, "SubscriberLimit",
+                f"subscriber limit ({self._max_subscribers}) reached"))
+            return
+        pipeline = self.service.pipeline
+        pipeline.flush()
+        base = pipeline.checkpoint(compress="none")
+        epoch = pipeline.updates_ingested
+        if not self._subscribers:
+            self._repl_epoch = epoch
+        ok = _offer(out, encode_response(
+            request.id, request.op,
+            {"epoch": epoch,
+             "structure": self.service.served_type.__name__},
+            meta={"epoch": epoch}))
+        ok = ok and _offer(out, base)
+        if ok:
+            self._subscribers[out] = writer
+
+    def _replicate(self) -> None:
+        """Broadcast one delta frame covering everything since the
+        last broadcast.  Called under the lock after every ingest, so
+        the chain is gapless while subscribers exist."""
+        if not self._subscribers:
+            return
+        pipeline = self.service.pipeline
+        epoch = pipeline.updates_ingested
+        if self._repl_epoch is None or epoch <= self._repl_epoch:
+            return
+        frame = pipeline.checkpoint(since=self._repl_epoch,
+                                    compress=self._replicate_compress)
+        self._repl_epoch = epoch
+        for queue in list(self._subscribers):
+            if not _offer(queue, frame):
+                # A follower that cannot drain its queue must not
+                # stall ingestion: drop it (a resubscribe gets a
+                # fresh base).
+                writer = self._subscribers.pop(queue)
+                writer.close()
+
+
+def _offer(queue: asyncio.Queue, blob) -> bool:
+    """Non-blocking put (the lock-held send path must never await)."""
+    try:
+        queue.put_nowait(blob)
+        return True
+    except asyncio.QueueFull:
+        return False
+
+
+def _offer_sentinel(queue: asyncio.Queue) -> None:
+    """Guarantee the pump's stop sentinel lands even on a full queue
+    (dropping queued responses for a connection that is closing)."""
+    while True:
+        try:
+            queue.put_nowait(None)
+            return
+        except asyncio.QueueFull:
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a private event loop in a daemon
+    thread — in-process embedding for tests, benchmarks and examples
+    (blocking clients in the calling thread talk to it over real
+    sockets).  ``stop()`` performs the same graceful drain as SIGTERM
+    and returns the final checkpoint frame.
+    """
+
+    def __init__(self, service, **server_kwargs):
+        self._service = service
+        self._kwargs = server_kwargs
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.server: ReproServer | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-net-server",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.server = ReproServer(self._service, **self._kwargs)
+        try:
+            await self.server.start()
+        except Exception as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await self.server.wait_stopped()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> bytes | None:
+        """Graceful drain; returns the final checkpoint frame."""
+        if self._loop is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(
+                    self.server.request_shutdown)
+            except RuntimeError:
+                pass               # loop already closed: nothing to do
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+        return self.server.checkpoint_blob if self.server else None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 class ResultCache:
@@ -156,8 +156,20 @@ class ServiceStats:
         return (self.ingest_updates / self.ingest_seconds
                 if self.ingest_seconds > 0 else 0.0)
 
-    def as_dict(self) -> dict:
-        """A JSON-able flat view (for benches, CLIs and dashboards)."""
+    def snapshot(self) -> "ServiceStats":
+        """A consistent point-in-time copy.
+
+        The live object keeps mutating while the service serves;
+        anything that serializes or iterates the counters (the
+        daemon's ``stats`` op, a dashboard diffing two reads) must
+        work from a copy, not the mutable original — ``per_op`` is
+        duplicated so the copy cannot change mid-read either.
+        """
+        return replace(self, per_op=dict(self.per_op))
+
+    def to_dict(self) -> dict:
+        """A JSON-able flat view (for benches, CLIs and dashboards):
+        every counter plus the derived ``hit_rate``/``ingest_rate``."""
         return {
             "queries": self.queries,
             "cache_hits": self.cache_hits,
@@ -178,6 +190,10 @@ class ServiceStats:
             "shm_fallbacks": self.shm_fallbacks,
             "per_op": dict(self.per_op),
         }
+
+    def as_dict(self) -> dict:
+        """Backwards-compatible alias for :meth:`to_dict`."""
+        return self.to_dict()
 
 
 def timer() -> float:

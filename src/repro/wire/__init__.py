@@ -11,8 +11,12 @@ from .frame import (
     COMPRESSIONS,
     Frame,
     KIND_DELTA,
+    KIND_ERROR,
+    KIND_EVENT,
     KIND_NAMES,
     KIND_PIPELINE,
+    KIND_REQUEST,
+    KIND_RESPONSE,
     KIND_SKETCH,
     KIND_STRUCTURE,
     MAGIC,
@@ -31,8 +35,12 @@ __all__ = [
     "COMPRESSIONS",
     "Frame",
     "KIND_DELTA",
+    "KIND_ERROR",
+    "KIND_EVENT",
     "KIND_NAMES",
     "KIND_PIPELINE",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
     "KIND_SKETCH",
     "KIND_STRUCTURE",
     "MAGIC",

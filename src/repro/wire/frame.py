@@ -13,6 +13,7 @@ bytes     meaning
 0..5      magic ``RPROWF``
 6         ``WIRE_VERSION`` (u8) — the layout of everything below
 7         frame kind (u8): sketch / structure / pipeline / delta
+          / request / response / error / event
 8..       uvarint ``body_len`` — the frame is self-delimiting, so
           frames concatenate into streams/files and a tail reader
           can split them without understanding their contents
@@ -63,12 +64,20 @@ KIND_SKETCH = 1      # a bare LinearSketch (sketch/serialize.py)
 KIND_STRUCTURE = 2   # an engine-registered structure (checkpoint.py)
 KIND_PIPELINE = 3    # a whole ShardedPipeline (pipeline.py)
 KIND_DELTA = 4       # an epoch-to-epoch state delta (engine/delta.py)
+KIND_REQUEST = 5     # a network request envelope (net/protocol.py)
+KIND_RESPONSE = 6    # a network response envelope (net/protocol.py)
+KIND_ERROR = 7       # a network error envelope (net/protocol.py)
+KIND_EVENT = 8       # a server-push event envelope (net/protocol.py)
 
 KIND_NAMES = {
     KIND_SKETCH: "sketch",
     KIND_STRUCTURE: "structure",
     KIND_PIPELINE: "pipeline",
     KIND_DELTA: "delta",
+    KIND_REQUEST: "request",
+    KIND_RESPONSE: "response",
+    KIND_ERROR: "error",
+    KIND_EVENT: "event",
 }
 
 #: Section compression choices accepted by :func:`encode_frame`.

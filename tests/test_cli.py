@@ -265,6 +265,90 @@ class TestInProcess:
         assert "@ epoch 2000" in out
 
 
+class TestDaemonFlags:
+    def test_listen_is_required(self, capsys):
+        assert main(["daemon"]) == 2
+        assert "--listen HOST:PORT is required" in capsys.readouterr().err
+
+    def test_malformed_listen_rejected(self, capsys):
+        assert main(["daemon", "--listen", "no-port-here"]) == 2
+        assert "--listen" in capsys.readouterr().err
+        assert main(["daemon", "--listen", ":8080"]) == 2
+        assert "--listen must be HOST:PORT" in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:notaport"]) == 2
+        assert "--listen port must be an integer" \
+            in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:70000"]) == 2
+        assert "--listen port must be in 0..65535" \
+            in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:-1"]) == 2
+        assert "--listen port must be in 0..65535" \
+            in capsys.readouterr().err
+
+    def test_replication_flags_require_listen(self, capsys):
+        assert main(["daemon", "--max-subscribers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "replication flags" in err and "--listen" in err
+        assert main(["daemon", "--replicate-compress", "zlib"]) == 2
+        err = capsys.readouterr().err
+        assert "--replicate-compress" in err
+
+    def test_topology_and_server_flags_validated(self, capsys):
+        # Validation must fire before anything binds a socket.
+        assert main(["daemon", "--listen", "127.0.0.1:0",
+                     "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:0",
+                     "--queue-depth", "0"]) == 2
+        assert "--queue-depth must be >= 1" in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:0",
+                     "--drain-timeout", "0"]) == 2
+        assert "--drain-timeout must be > 0" in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:0",
+                     "--listen", "127.0.0.1:0",
+                     "--max-subscribers", "0"]) == 2
+        assert "--max-subscribers must be >= 1" \
+            in capsys.readouterr().err
+        assert main(["daemon", "--listen", "127.0.0.1:0",
+                     "--transport", "shm"]) == 2
+        assert "--transport requires --backend process" \
+            in capsys.readouterr().err
+
+
+class TestClientFlags:
+    def test_connect_is_required(self, capsys):
+        assert main(["client", "ping"]) == 2
+        assert "--connect HOST:PORT is required" \
+            in capsys.readouterr().err
+
+    def test_malformed_connect_rejected(self, capsys):
+        assert main(["client", "ping", "--connect", "nope"]) == 2
+        assert "--connect" in capsys.readouterr().err
+        assert main(["client", "ping",
+                     "--connect", "127.0.0.1:zzz"]) == 2
+        assert "--connect port must be an integer" \
+            in capsys.readouterr().err
+
+    def test_query_requires_spec(self, capsys):
+        assert main(["client", "query",
+                     "--connect", "127.0.0.1:1"]) == 2
+        assert "requires --queries" in capsys.readouterr().err
+
+    def test_ingest_flags_validated(self, capsys):
+        assert main(["client", "ingest", "--connect", "127.0.0.1:1",
+                     "--updates", "0"]) == 2
+        assert "--updates must be >= 1" in capsys.readouterr().err
+        assert main(["client", "ingest", "--connect", "127.0.0.1:1",
+                     "--batches", "0"]) == 2
+        assert "--batches must be >= 1" in capsys.readouterr().err
+
+    def test_connection_refused_is_exit_1(self, capsys):
+        # Port 1 is reserved and never listening in the test env:
+        # transport failure, not flag misuse.
+        assert main(["client", "ping", "--connect", "127.0.0.1:1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestAsModule:
     def test_python_dash_m(self):
         proc = subprocess.run(

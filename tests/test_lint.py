@@ -214,6 +214,80 @@ class TestRuleFixtures:
         findings = _lint(root, only={"R006"})
         assert [f.line for f in findings] == [5]
 
+    def test_r007_flags_blocking_calls_in_coroutines(self, tmp_path):
+        root = _mini_project(tmp_path, {"net/server.py": """\
+            import queue
+            import socket
+            import time
+
+            async def handler(conn):
+                time.sleep(1)
+                sock = socket.create_connection(("h", 1))
+                data = conn.recv(4096)
+                backlog = queue.Queue()
+                return data, backlog
+        """})
+        findings = _lint(root, only={"R007"})
+        assert all(f.rule == "R007" for f in findings)
+        lines = {f.line for f in findings}
+        assert {6, 7, 8, 9} <= lines
+        assert any("asyncio.sleep" in f.message for f in findings)
+        assert any("asyncio.Queue" in f.message for f in findings)
+
+    def test_r007_flags_from_import_aliases(self, tmp_path):
+        root = _mini_project(tmp_path, {"net/worker.py": """\
+            from time import sleep as nap
+            from queue import SimpleQueue
+
+            async def tick():
+                nap(0.1)
+                return SimpleQueue()
+        """})
+        findings = _lint(root, only={"R007"})
+        assert {f.line for f in findings} == {5, 6}
+
+    def test_r007_passes_sync_helpers_and_async_idioms(self, tmp_path):
+        root = _mini_project(tmp_path, {"net/client.py": """\
+            import asyncio
+            import socket
+            import time
+
+            def blocking_client(host, port):
+                # Synchronous scope: blocking calls are the point.
+                sock = socket.create_connection((host, port))
+                time.sleep(0.1)
+                return sock.recv(4096)
+
+            async def server_loop(reader):
+                await asyncio.sleep(0.1)
+                backlog = asyncio.Queue()
+                data = await reader.read(4096)
+
+                def sync_helper():
+                    # Nested sync scope inside the coroutine.
+                    time.sleep(0.1)
+                return data, backlog, sync_helper
+        """})
+        assert _lint(root, only={"R007"}) == []
+
+    def test_r007_ignores_files_outside_async_paths(self, tmp_path):
+        root = _mini_project(tmp_path, {"core/loop.py": """\
+            import time
+
+            async def helper():
+                time.sleep(1)
+        """})
+        assert _lint(root, only={"R007"}) == []
+
+    def test_r007_suppression_works(self, tmp_path):
+        root = _mini_project(tmp_path, {"net/server.py": """\
+            import time
+
+            async def handler():
+                time.sleep(1)  # repro-lint: disable=R007 -- startup only
+        """})
+        assert _lint(root, only={"R007"}) == []
+
     def test_r005_missing_baseline_and_roundtrip(self, tmp_path):
         root = _mini_project(tmp_path, {
             "sketch/leaf.py": """\
@@ -316,7 +390,7 @@ class TestReporting:
         assert finding["rule"] == "R001"
         assert finding["path"].endswith("core/state.py")
         assert finding["line"] == 4
-        assert set(doc["rules"]) == {f"R00{i}" for i in range(1, 7)}
+        assert set(doc["rules"]) == {f"R00{i}" for i in range(1, 8)}
 
     def test_text_output_and_exit_codes(self, tmp_path, capsys):
         root = _mini_project(tmp_path, {"core/ok.py": "X = 1\n"})

@@ -1,0 +1,152 @@
+"""The ``repro daemon`` process end to end: SIGTERM drain + restore.
+
+These tests spawn real subprocesses (excluded from the CI fast lane;
+the ``net`` job runs them under a hard timeout).  The property: kill
+-TERM a loaded daemon and the checkpoint it writes on the way down
+restores byte-identical to a serial oracle that replays exactly the
+batches the daemon *acked* — acked-but-lost and applied-but-unacked
+updates must both be impossible.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import _service_structures
+from repro.engine import ShardedPipeline, checkpoint as snapshot_structure
+from repro.net import ReproClient
+
+N = 256
+SEED = 11
+
+
+def _spawn_daemon(tmp_path, *extra):
+    """Start a daemon on an ephemeral port; returns (proc, port)."""
+    out = tmp_path / "final.rprowf"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "daemon",
+         "--listen", "127.0.0.1:0", "--structure", "count-sketch",
+         "-n", str(N), "--shards", "2", "--seed", str(SEED),
+         "--checkpoint-out", str(out), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = proc.stdout.readline()
+    if "on 127.0.0.1:" not in line:
+        proc.kill()
+        rest = proc.stdout.read()
+        raise AssertionError(f"daemon failed to start: {line}{rest}")
+    port = int(line.rsplit(":", 1)[1].split()[0])
+    return proc, port, out
+
+
+def _terminate(proc) -> str:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        stdout, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    assert proc.returncode == 0, f"daemon exited {proc.returncode}"
+    return stdout
+
+
+def _oracle_bytes(acked_batches) -> bytes:
+    factories, _ = _service_structures(N, SEED)
+    with ShardedPipeline(factories["count-sketch"], shards=1,
+                         chunk_size=64) as oracle:
+        for indices, deltas in acked_batches:
+            oracle.ingest(indices, deltas)
+        oracle.flush()
+        return snapshot_structure(oracle.merged())
+
+
+class TestDaemonLifecycle:
+
+    def test_sigterm_checkpoint_restores_byte_identical(self, tmp_path):
+        proc, port, out = _spawn_daemon(tmp_path)
+        rng = np.random.default_rng(0)
+        acked = []
+        try:
+            with ReproClient("127.0.0.1", port) as client:
+                for _ in range(4):
+                    indices = rng.integers(0, N, size=200,
+                                           dtype=np.int64)
+                    deltas = rng.integers(-3, 6, size=200,
+                                          dtype=np.int64)
+                    reply = client.ingest(indices, deltas)
+                    acked.append((indices, deltas))
+                    assert reply.result["count"] == 200
+                answer = client.query("top", count=3)
+                assert answer.epoch == 800
+        finally:
+            stdout = _terminate(proc)
+        assert "drained at epoch 800" in stdout
+        assert "checkpoint written" in stdout
+
+        restored = ShardedPipeline.restore(out.read_bytes())
+        try:
+            assert restored.updates_ingested == 800
+            assert snapshot_structure(restored.merged()) \
+                == _oracle_bytes(acked)
+        finally:
+            restored.close()
+
+    def test_sigterm_mid_load_loses_nothing_acked(self, tmp_path):
+        proc, port, out = _spawn_daemon(tmp_path)
+        acked = []
+        stop = threading.Event()
+
+        def pound():
+            rng = np.random.default_rng(1)
+            try:
+                with ReproClient("127.0.0.1", port) as client:
+                    while not stop.is_set():
+                        indices = rng.integers(0, N, size=50,
+                                               dtype=np.int64)
+                        deltas = rng.integers(-2, 5, size=50,
+                                              dtype=np.int64)
+                        reply = client.ingest(indices, deltas)
+                        acked.append((reply.result["epoch"],
+                                      indices, deltas))
+            except (ConnectionError, TimeoutError, OSError):
+                pass               # the drain closed the socket on us
+
+        loader = threading.Thread(target=pound)
+        loader.start()
+        deadline = time.monotonic() + 15
+        while not acked and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert acked, "loader never got an ack"
+        stdout = _terminate(proc)       # SIGTERM under load
+        stop.set()
+        loader.join(timeout=30)
+        assert not loader.is_alive()
+
+        # Everything acked survived; nothing unacked was applied.
+        final_epoch = acked[-1][0]
+        assert f"drained at epoch {final_epoch}" in stdout
+        restored = ShardedPipeline.restore(out.read_bytes())
+        try:
+            assert restored.updates_ingested == final_epoch
+            assert snapshot_structure(restored.merged()) \
+                == _oracle_bytes([(i, d) for _, i, d in acked])
+        finally:
+            restored.close()
+
+    def test_daemon_refuses_double_bind(self, tmp_path):
+        proc, port, _ = _spawn_daemon(tmp_path)
+        try:
+            clash = subprocess.run(
+                [sys.executable, "-m", "repro", "daemon",
+                 "--listen", f"127.0.0.1:{port}", "-n", str(N)],
+                capture_output=True, text=True, timeout=60)
+            assert clash.returncode != 0
+        finally:
+            _terminate(proc)
