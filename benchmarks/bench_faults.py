@@ -1,0 +1,243 @@
+"""E-FAULTS: the cost of self-healing — MTTR and throughput under faults.
+
+Measured, against the supervised execution layer (the exact stack the
+chaos suite pins for correctness):
+
+1. **MTTR** — one scheduled worker crash mid-stream on the process
+   backend: every batch is timed, the batch that healed the shard
+   (checkpoint restore + chunk-log replay) is compared against the
+   median crash-free batch, and the excess is the repair time.  The
+   healed run must stay byte-identical to a crash-free oracle — a fast
+   repair that loses state is not a repair.
+2. **Throughput under fault rates** — the serial supervised pipeline
+   under seeded crash rates of 0%, 1% and 5% of chunk submissions.
+   The floor: at a 1% rate, throughput stays at or above 0.5x the
+   fault-free run (supervision is bounded work: restore one shard
+   checkpoint plus replay at most ``log_limit`` chunks per crash).
+
+Run as a script to emit a machine-readable ``BENCH_faults.json``:
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+"""
+
+import argparse
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.engine import RestartPolicy, ShardedPipeline
+from repro.engine import checkpoint as snapshot_structure
+from repro.faults import WORKER_CRASH, FaultPlan
+from repro.sketch import CountSketch
+
+from _common import print_table
+
+MTTR_HEADER = ["batches", "crash batch", "baseline s", "heal batch s",
+               "MTTR s", "identical"]
+
+RATE_HEADER = ["crash rate", "crashes", "wall s", "updates/s",
+               "vs fault-free"]
+
+#: Seeded crash probabilities per chunk submission for the sweep.
+FAULT_RATES = (0.0, 0.01, 0.05)
+
+#: The CI floor: throughput at a 1% crash rate must stay at or above
+#: this fraction of the fault-free run.
+RATE_FLOOR = 0.5
+
+#: Bumped when the BENCH_faults.json layout changes.
+REPORT_SCHEMA = 1
+
+
+def _factory(universe: int, seed: int = 5):
+    return lambda: CountSketch(universe, m=8, rows=5, seed=seed)
+
+
+def _workload(universe: int, updates: int, seed: int = 0):
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0xFA17)))
+    indices = rng.integers(0, universe, size=updates, dtype=np.int64)
+    deltas = rng.integers(-4, 9, size=updates, dtype=np.int64)
+    deltas[deltas == 0] = 1
+    return indices, deltas
+
+
+def _oracle_bytes(universe, indices, deltas, shards, chunk) -> bytes:
+    with ShardedPipeline(_factory(universe), shards=shards,
+                         chunk_size=chunk) as oracle:
+        oracle.ingest(indices, deltas)
+        oracle.flush()
+        return snapshot_structure(oracle.merged())
+
+
+def mttr_experiment(universe=1 << 11, updates=60_000, batches=10,
+                    shards=2, chunk=1024, backend="process"):
+    """One scheduled crash; per-batch walls isolate the repair cost."""
+    indices, deltas = _workload(universe, updates)
+    per_batch = updates // batches
+    # Crash halfway through: visits are per chunk submission, so land
+    # the shot inside the middle batch.
+    visits_per_batch = max(1, per_batch // chunk) * shards
+    crash_visit = visits_per_batch * (batches // 2) + 1
+    plan = FaultPlan(seed=3, at={WORKER_CRASH: (crash_visit,)})
+
+    walls, crash_batch, restarts_seen = [], None, 0
+    with ShardedPipeline(_factory(universe), shards=shards,
+                         chunk_size=chunk, backend=backend,
+                         faults=plan,
+                         restarts=RestartPolicy(backoff_s=0.001)) as pipe:
+        for b in range(batches):
+            lo, hi = b * per_batch, (b + 1) * per_batch
+            begin = time.perf_counter()
+            pipe.ingest(indices[lo:hi], deltas[lo:hi])
+            pipe.flush()       # detection + heal land inside the batch
+            walls.append(time.perf_counter() - begin)
+            if pipe.worker_restarts > restarts_seen:
+                restarts_seen = pipe.worker_restarts
+                crash_batch = b
+        healed = snapshot_structure(pipe.merged())
+
+    want = _oracle_bytes(universe, indices[:batches * per_batch],
+                         deltas[:batches * per_batch], shards, chunk)
+    baseline = statistics.median(
+        wall for b, wall in enumerate(walls) if b != crash_batch)
+    heal_wall = walls[crash_batch] if crash_batch is not None else 0.0
+    return {
+        "backend": backend,
+        "batches": batches,
+        "updates": batches * per_batch,
+        "crash_batch": crash_batch,
+        "restarts": restarts_seen,
+        "baseline_batch_s": baseline,
+        "heal_batch_s": heal_wall,
+        "mttr_s": max(0.0, heal_wall - baseline),
+        "recovered_identical": bool(healed == want),
+    }
+
+
+def rate_experiment(universe=1 << 11, updates=120_000, shards=2,
+                    chunk=512):
+    """Serial supervised throughput at each seeded crash rate."""
+    indices, deltas = _workload(universe, updates, seed=1)
+    want = _oracle_bytes(universe, indices, deltas, shards, chunk)
+    policy = RestartPolicy(max_restarts=10_000, backoff_s=0.0)
+    records = []
+    for rate in FAULT_RATES:
+        plan = (FaultPlan(seed=7, rates={WORKER_CRASH: rate})
+                if rate else None)
+        kwargs = {"faults": plan, "restarts": policy} if plan else {}
+        with ShardedPipeline(_factory(universe), shards=shards,
+                             chunk_size=chunk, **kwargs) as pipe:
+            begin = time.perf_counter()
+            pipe.ingest(indices, deltas)
+            pipe.flush()
+            wall = time.perf_counter() - begin
+            records.append({
+                "rate": rate,
+                "crashes": pipe.worker_restarts,
+                "wall_s": wall,
+                "updates_per_s": updates / wall,
+                "byte_identical": bool(
+                    snapshot_structure(pipe.merged()) == want),
+            })
+    fault_free = records[0]["updates_per_s"]
+    for record in records:
+        record["vs_fault_free"] = record["updates_per_s"] / fault_free
+    return records
+
+
+def _mttr_rows(record):
+    return [[record["batches"], record["crash_batch"],
+             f"{record['baseline_batch_s']:.4f}",
+             f"{record['heal_batch_s']:.4f}",
+             f"{record['mttr_s']:.4f}",
+             record["recovered_identical"]]]
+
+
+def _rate_rows(records):
+    return [[f"{r['rate']:.0%}", r["crashes"], f"{r['wall_s']:.2f}",
+             f"{r['updates_per_s']:,.0f}", f"{r['vs_fault_free']:.2f}x"]
+            for r in records]
+
+
+def write_report(mttr, rates, path: str) -> dict:
+    report = {
+        "bench": "faults",
+        "schema": REPORT_SCHEMA,
+        "cpu_count": os.cpu_count(),
+        "fault_rates": list(FAULT_RATES),
+        "rate_floor": RATE_FLOOR,
+        "mttr": mttr,
+        "rate_rows": rates,
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def _floor_ok(rates) -> bool:
+    at_1pct = next(r for r in rates if r["rate"] == 0.01)
+    return (at_1pct["vs_fault_free"] >= RATE_FLOOR
+            and all(r["byte_identical"] for r in rates))
+
+
+def test_mttr_is_measured_and_state_survives(benchmark):
+    record = benchmark.pedantic(mttr_experiment, rounds=1, iterations=1,
+                                kwargs={"updates": 20_000,
+                                        "batches": 5, "chunk": 512})
+    print_table("E-FAULTS: mean time to repair (one worker crash)",
+                MTTR_HEADER, _mttr_rows(record))
+    assert record["restarts"] == 1
+    assert record["crash_batch"] is not None
+    assert record["recovered_identical"] is True
+    assert record["heal_batch_s"] > 0
+
+
+def test_throughput_floor_under_faults(benchmark):
+    records = benchmark.pedantic(rate_experiment, rounds=1,
+                                 iterations=1,
+                                 kwargs={"updates": 40_000})
+    print_table("E-FAULTS: supervised throughput vs crash rate",
+                RATE_HEADER, _rate_rows(records))
+    for record in records:
+        assert record["byte_identical"] is True
+        assert record["updates_per_s"] > 0
+    assert next(r for r in records if r["rate"] == 0.01) \
+        ["vs_fault_free"] >= RATE_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--universe", type=int, default=1 << 11)
+    parser.add_argument("--mttr-updates", type=int, default=60_000)
+    parser.add_argument("--mttr-batches", type=int, default=10)
+    parser.add_argument("--rate-updates", type=int, default=120_000,
+                        help="stream length for the crash-rate sweep")
+    parser.add_argument("--backend", default="process",
+                        choices=("serial", "process"),
+                        help="backend for the MTTR experiment")
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    mttr = mttr_experiment(args.universe, args.mttr_updates,
+                           args.mttr_batches, backend=args.backend)
+    rates = rate_experiment(args.universe, args.rate_updates)
+
+    print_table("E-FAULTS: mean time to repair (one worker crash)",
+                MTTR_HEADER, _mttr_rows(mttr))
+    print_table("E-FAULTS: supervised throughput vs crash rate",
+                RATE_HEADER, _rate_rows(rates))
+
+    report = write_report(mttr, rates, args.out)
+    print(f"\nwrote {args.out} "
+          f"({len(json.dumps(report))} bytes of JSON)")
+    if not mttr["recovered_identical"] or not _floor_ok(rates):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

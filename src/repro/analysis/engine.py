@@ -44,6 +44,9 @@ class LintConfig:
     numeric_paths: tuple = ("sketch", "hashing")
     #: Subtrees whose ``async def`` bodies must not block (R007).
     async_paths: tuple = ("net",)
+    #: Subtrees whose broad except handlers must re-raise or record
+    #: the failure (R008).
+    exception_paths: tuple = ("engine", "net", "service")
     #: Modules whose integer arithmetic was hand-audited for wrap
     #: safety (the PR-5 fused-kernel set): exempt from the R006
     #: arithmetic checks, NOT from the dtype-less-literal check.
@@ -156,6 +159,7 @@ def default_rules() -> list[Rule]:
     """Fresh instances of every shipped rule, id order."""
     from .rules_async import AsyncHygieneRule
     from .rules_determinism import DeterminismRule
+    from .rules_exceptions import ExceptionHygieneRule
     from .rules_format import FormatDisciplineRule
     from .rules_kernels import KernelOraclePairingRule
     from .rules_mp import MpShmHygieneRule
@@ -165,7 +169,7 @@ def default_rules() -> list[Rule]:
     return [DeterminismRule(), RegistryCompletenessRule(),
             KernelOraclePairingRule(), MpShmHygieneRule(),
             FormatDisciplineRule(), NumpyOverflowRule(),
-            AsyncHygieneRule()]
+            AsyncHygieneRule(), ExceptionHygieneRule()]
 
 
 def rule_table(rules=None) -> dict[str, str]:

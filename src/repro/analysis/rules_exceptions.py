@@ -1,0 +1,151 @@
+"""R008: exception hygiene — never swallow a broad catch silently.
+
+The supervised runtime (``engine``/``net``/``service``) turns crashes
+into healing: a worker crash rebuilds the shard, a poisoned pipeline
+degrades the service, a failed request answers with a typed error
+envelope.  All of that depends on failures *surfacing*.  A broad
+``except Exception:`` (or bare ``except:``) that neither re-raises nor
+records what it caught deletes the failure instead — the chaos suite
+passes, the counters stay green, and the first symptom is silently
+wrong state.  So the contract is enforced statically: under the
+configured ``exception_paths`` subtrees, every handler catching
+``Exception``/``BaseException``/nothing-in-particular must either
+
+* re-raise (a ``raise`` anywhere in the handler body), or
+* record the failure — assign it to an error/fatal attribute
+  (``self._fatal = ...``, ``stats.errors += 1``) or pass it to
+  something that reports (a call whose name mentions ``error``,
+  ``crash``, ``warn``, ``log`` or ``format_exc``).
+
+Handlers lexically inside ``__del__`` are exempt (the interpreter
+ignores exceptions there anyway, and raising from a finalizer is its
+own bug).  Justified swallows — idempotent teardown of already-dead
+resources — take the standard escape hatch::
+
+    except Exception:  # repro-lint: disable=R008 -- why this is safe
+        pass
+
+and the unused-suppression check (R000) keeps those honest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import FileInfo, Finding, Rule
+
+#: Broad exception type names a handler must not swallow silently.
+_BROAD = ("Exception", "BaseException")
+
+#: Substrings of a call name that count as reporting the failure.
+_REPORTING_CALLS = ("error", "crash", "warn", "log", "format_exc")
+
+#: Substrings of an assignment target that count as recording it.
+_RECORDING_TARGETS = ("error", "fatal")
+
+
+class ExceptionHygieneRule(Rule):
+    rule_id = "R008"
+    title = ("broad except handlers in the supervised runtime must "
+             "re-raise or record the failure")
+    rationale = ("self-healing and degraded serving only work when "
+                 "failures surface; a silent 'except Exception: pass' "
+                 "deletes the crash the supervisor, the stats and the "
+                 "chaos suite all need to see")
+
+    def check_file(self, info: FileInfo, ctx) -> list[Finding]:
+        if not ctx.in_paths(info, ctx.config.exception_paths):
+            return []
+        findings: list[Finding] = []
+        for handler in _handlers_outside_del(info.tree):
+            caught = _broad_name(handler.type)
+            if caught is None:
+                continue
+            if _reraises(handler) or _records(handler):
+                continue
+            findings.append(self.finding(
+                info, handler.lineno,
+                f"{caught} neither re-raises nor records the failure "
+                f"— surface it (raise / count it in an error stat / "
+                f"log it), or justify the swallow with a suppression"))
+        return findings
+
+
+def _handlers_outside_del(tree: ast.Module):
+    """Every ExceptHandler not lexically inside a ``__del__``."""
+    stack = [(tree, False)]
+    while stack:
+        node, in_del = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            child_in_del = in_del
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                child_in_del = in_del or child.name == "__del__"
+            if isinstance(child, ast.ExceptHandler) and not in_del:
+                yield child
+            stack.append((child, child_in_del))
+
+
+def _broad_name(type_node) -> str | None:
+    """The broad name a handler catches, or None for a narrow one.
+
+    Bare ``except:``, ``except Exception``, ``except BaseException``
+    and tuples containing either all count; ``except SomethingError``
+    does not (a narrow catch is a considered decision).
+    """
+    if type_node is None:
+        return "bare except:"
+    if isinstance(type_node, ast.Name) and type_node.id in _BROAD:
+        return f"except {type_node.id}:"
+    if isinstance(type_node, ast.Tuple):
+        for element in type_node.elts:
+            if isinstance(element, ast.Name) and element.id in _BROAD:
+                return f"except (..., {element.id}):"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise)
+               for node in _body_walk(handler))
+
+
+def _records(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body stores or reports what it caught."""
+    for node in _body_walk(handler):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                name = _target_name(target)
+                if name and any(part in name
+                                for part in _RECORDING_TARGETS):
+                    return True
+        elif isinstance(node, ast.Call):
+            name = _target_name(node.func)
+            if name and any(part in name
+                            for part in _REPORTING_CALLS):
+                return True
+    return False
+
+
+def _body_walk(handler: ast.ExceptHandler):
+    """Walk the handler body without descending into nested function
+    definitions (a nested ``def`` runs later, in another context —
+    its ``raise`` does not surface *this* failure)."""
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _target_name(node) -> str | None:
+    """A lowercased dotted-name tail for Name/Attribute nodes."""
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    return None

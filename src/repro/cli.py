@@ -273,7 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument("--seed", type=int, default=0)
 
     lint = sub.add_parser(
-        "lint", help="check the project invariants (R001-R007) "
+        "lint", help="check the project invariants (R001-R008) "
                      "statically; the blocking CI gate")
     lint.add_argument("--root", default=".",
                       help="repository root to lint (default: cwd)")

@@ -36,8 +36,8 @@ from .delta import (DeltaError, OutOfOrderDelta, WrongBaseDelta,
 from .follower import FollowerPipeline
 from .pipeline import DELTA_BASE_RETENTION, ShardedPipeline
 from .shm import SlotRing
-from .workers import (BACKENDS, TRANSPORTS, ProcessPool, SerialPool,
-                      WorkerCrashed, WorkerPool, build_pool)
+from .workers import (BACKENDS, TRANSPORTS, ProcessPool, RestartPolicy,
+                      SerialPool, WorkerCrashed, WorkerPool, build_pool)
 
 from . import registry as _registry  # noqa: F401  (fills the registry)
 from .registry import (QueryCapability, UnsupportedQuery, audit,
@@ -47,7 +47,8 @@ from .registry import (QueryCapability, UnsupportedQuery, audit,
 __all__ = [
     "BACKENDS", "DELTA_BASE_RETENTION", "DeltaError", "FORMAT_VERSION",
     "EngineSpec", "FollowerPipeline", "IncompatibleShards",
-    "OutOfOrderDelta", "ProcessPool", "QueryCapability", "SerialPool",
+    "OutOfOrderDelta", "ProcessPool", "QueryCapability", "RestartPolicy",
+    "SerialPool",
     "SlotRing", "StaleCheckpoint", "TRANSPORTS", "UnsupportedQuery",
     "WorkerCrashed", "WorkerPool", "WrongBaseDelta", "build_pool", "audit",
     "checkpoint", "clone", "fresh_twin", "is_exact", "is_registered",

@@ -243,11 +243,23 @@ class ShardedPipeline:
         part of the checkpoint wire format.  Rejected for the serial
         backend (it has no transport to select; a serial pipeline's
         ``transport`` attribute reads ``None``).
+    faults:
+        A :class:`~repro.faults.FaultPlan` for deterministic fault
+        injection (``None`` — the default — is inert).  An execution
+        knob like ``backend``: never part of the checkpoint.
+    restarts:
+        A :class:`~repro.engine.workers.RestartPolicy` enabling
+        supervised restart of crashed shard workers: the pool rebuilds
+        the dead shard from its last per-shard checkpoint and replays
+        the unacked chunk log, byte-identical to a crash-free run,
+        before the crash ever reaches (and poisons) this pipeline.
+        ``None`` keeps the crash-poisons semantics.
     """
 
     def __init__(self, factory, shards: int = 4, partition: str = "hash",
                  chunk_size: int = 4096, backend: str = "serial",
-                 transport: str | None = None):
+                 transport: str | None = None, faults=None,
+                 restarts=None):
         if shards < 1:
             raise ValueError("need at least one shard")
         if partition not in _PARTITIONS:
@@ -261,6 +273,8 @@ class ShardedPipeline:
         self.chunk_size = int(chunk_size)
         self.backend = backend
         self.transport = _validated_transport(backend, transport)
+        self.faults = faults          # FaultPlan | None (execution knob)
+        self.restart_policy = restarts  # RestartPolicy | None
         self.updates_ingested = 0
         self._cursor = 0  # next round-robin shard
         self._closed = False
@@ -268,6 +282,7 @@ class ShardedPipeline:
         self._merged_cache = None  # (epoch, folded) — see merged()
         self._delta_bases = OrderedDict()  # epoch -> merged state arrays
         self._shm_fallbacks_base = 0  # carried across reshards
+        self._restarts_base = 0       # carried across reshards
         built = [factory() for _ in range(int(shards))]
         self._validate_shards(built)
         self._shard_class = type(built[0])
@@ -275,7 +290,9 @@ class ShardedPipeline:
         # Under "process" the workers restore from checkpoint blobs,
         # so the factory (often a closure) never crosses the boundary.
         self._pool = build_pool(backend, built, transport=self.transport,
-                                slot_updates=self.chunk_size)
+                                slot_updates=self.chunk_size,
+                                faults=self.faults,
+                                policy=self.restart_policy)
 
     @staticmethod
     def _validate_shards(built: list) -> None:
@@ -363,6 +380,24 @@ class ShardedPipeline:
         service so an undersized slot ring is visible, not silent."""
         return self._shm_fallbacks_base + getattr(
             self._pool, "shm_fallbacks", 0)
+
+    @property
+    def worker_restarts(self) -> int:
+        """How many supervised worker restarts have healed this
+        pipeline (0 without a :class:`RestartPolicy`).  Carried across
+        :meth:`reshard`; surfaced in ``ServiceStats`` so self-healing
+        is observable, not silent."""
+        return self._restarts_base + getattr(self._pool, "restarts", 0)
+
+    @property
+    def healthy(self) -> bool:
+        """False once this pipeline can no longer ingest: closed,
+        poisoned by a failed chunk, or its pool recorded a fatal
+        worker crash (which can also happen outside ingest — e.g. at a
+        flush barrier).  The query service keys degraded serving off
+        this."""
+        return not (self._closed or self._poisoned
+                    or getattr(self._pool, "_fatal", None) is not None)
 
     @property
     def delta_epochs(self) -> tuple:
@@ -530,9 +565,12 @@ class ShardedPipeline:
         new_pool = _proven(build_pool(self.backend,
                                       _seat_states(folded, new_k),
                                       transport=self.transport,
-                                      slot_updates=self.chunk_size))
+                                      slot_updates=self.chunk_size,
+                                      faults=self.faults,
+                                      policy=self.restart_policy))
         old_pool, self._pool = self._pool, new_pool
         self._shm_fallbacks_base += getattr(old_pool, "shm_fallbacks", 0)
+        self._restarts_base += getattr(old_pool, "restarts", 0)
         self._k = new_k
         self.partition = partition
         self._cursor = 0
@@ -627,7 +665,8 @@ class ShardedPipeline:
     def restore(cls, data: bytes, backend: str = "serial",
                 shards: int | None = None,
                 transport: str | None = None,
-                deltas=()) -> "ShardedPipeline":
+                deltas=(), faults=None,
+                restarts=None) -> "ShardedPipeline":
         """Rebuild a pipeline from :meth:`checkpoint`; resume ingesting.
 
         The header is fully validated (unknown partition, nonsense
@@ -639,7 +678,10 @@ class ShardedPipeline:
         where the restored shards execute and ``transport`` how the
         process backend ships chunks to them; both are execution
         choices, not part of the wire format — a blob written under
-        one combination restores under any other.  Legacy ``RPROPL``
+        one combination restores under any other.  ``faults`` /
+        ``restarts`` attach a fault plan and a supervised restart
+        policy to the restored pipeline — execution knobs like the
+        backend, never part of the blob.  Legacy ``RPROPL``
         (format-2) pipeline checkpoints restore via the one-release
         legacy reader.
 
@@ -720,7 +762,8 @@ class ShardedPipeline:
                         f"does not share shard 0's map "
                         f"({head_class}, {head_params})")
             pool = _proven(ProcessPool(blobs, transport=transport,
-                                       slot_updates=chunk_size))
+                                       slot_updates=chunk_size,
+                                       faults=faults, policy=restarts))
         else:
             states = [restore_blob(blob) for blob in blobs]
             cls._validate_shards(states)
@@ -753,12 +796,15 @@ class ShardedPipeline:
                 cursor = 0     # the old rotation is meaningless at new K
             pool = _proven(build_pool(backend, states,
                                       transport=transport,
-                                      slot_updates=chunk_size))
+                                      slot_updates=chunk_size,
+                                      faults=faults, policy=restarts))
         pipeline = cls.__new__(cls)
         pipeline.partition = partition
         pipeline.chunk_size = chunk_size
         pipeline.backend = backend
         pipeline.transport = transport
+        pipeline.faults = faults
+        pipeline.restart_policy = restarts
         pipeline.updates_ingested = updates_ingested
         pipeline._cursor = cursor
         pipeline._closed = False
@@ -766,6 +812,7 @@ class ShardedPipeline:
         pipeline._merged_cache = None
         pipeline._delta_bases = OrderedDict()
         pipeline._shm_fallbacks_base = 0
+        pipeline._restarts_base = 0
         pipeline._shard_class = shard_class
         pipeline._k = declared
         pipeline._pool = pool

@@ -61,7 +61,7 @@ def _untrack(name: str) -> None:
     try:
         from multiprocessing import resource_tracker
         resource_tracker.unregister(f"/{name}", "shared_memory")
-    except Exception:
+    except Exception:  # repro-lint: disable=R008 -- cosmetic tracker bookkeeping; failure changes nothing the worker can act on
         pass
 
 
@@ -149,8 +149,23 @@ class SlotRing:
         The views alias the slot's memory: they are valid until the
         consumer signals the slot free (releases the permit), which
         must happen only after the chunk has been fully applied.
+
+        The descriptor is validated before any view is built: a torn
+        or corrupted control record (bad slot, impossible count) must
+        surface as a crisp :class:`ValueError` — which crashes the
+        worker and triggers supervised healing — never as an
+        out-of-bounds view silently aliasing a neighbouring slot.
         """
         slot, index_dtype, count, delta_dtype = descriptor
+        payload = int(count) * (np.dtype(index_dtype).itemsize
+                                + np.dtype(delta_dtype).itemsize)
+        if not 0 <= int(slot) < self.slots or count < 0 \
+                or payload > self.slot_bytes:
+            raise ValueError(
+                f"corrupt slot descriptor {descriptor!r}: slot must be "
+                f"in [0, {self.slots}) and the payload "
+                f"({payload} bytes) must fit one {self.slot_bytes}-byte "
+                f"slot")
         offset = slot * self.slot_bytes
         indices = np.ndarray(count, dtype=np.dtype(index_dtype),
                              buffer=self._shm.buf, offset=offset)
@@ -165,12 +180,12 @@ class SlotRing:
         """Unmap (everyone); unlink the segment (creator only)."""
         try:
             self._shm.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=R008 -- idempotent unmap; a second close has nothing to report
             pass
         if self._owner:
             try:
                 self._shm.unlink()
-            except Exception:
+            except Exception:  # repro-lint: disable=R008 -- the segment may already be unlinked; nothing to record or recover
                 pass
 
     def __del__(self):

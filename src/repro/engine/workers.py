@@ -46,6 +46,23 @@ A crashed worker's unsnapshotted state is gone; the pipeline refuses
 to checkpoint past it, so a checkpoint can never silently claim
 updates a dead worker swallowed.  Workers are daemonic: an abandoned
 pool cannot outlive the parent process.
+
+Supervision (both backends)
+---------------------------
+
+Because every shard is a linear sketch, a crash is cheap to *undo*:
+restore the dead shard from its last per-shard checkpoint and replay,
+in order, the chunks submitted since — checkpoint restore is bit-exact
+and per-shard submission order is preserved, so the healed state is
+byte-identical to a crash-free run.  Passing a :class:`RestartPolicy`
+turns this on: the pool keeps a per-shard base blob plus a bounded
+in-flight chunk log (``flush()`` and ``snapshots()`` refresh the bases
+and clear the logs, so chunks acked by a flush are never replayed),
+and on :class:`WorkerCrashed` it rebuilds exactly the dead shard —
+with exponential backoff, up to ``max_restarts`` times per shard —
+before escalating to the default poisoned state.  Injected faults (see
+:mod:`repro.faults`) enter through the same ``faults`` hook on both
+backends, so the healing path is deterministic and CI-replayable.
 """
 
 from __future__ import annotations
@@ -53,8 +70,10 @@ from __future__ import annotations
 import multiprocessing as mp
 import numpy as np
 import queue as queue_mod
+import time
 import traceback
 
+from ..faults import NO_FAULTS, SHM_SLOT_CORRUPT, WORKER_CRASH
 from .checkpoint import checkpoint as snapshot, restore as restore_blob
 from .shm import SlotRing
 
@@ -77,7 +96,9 @@ DEFAULT_SLOT_UPDATES = 8192
 
 
 def build_pool(backend: str, structures: list, transport: str = "pickle",
-               slot_updates: int = DEFAULT_SLOT_UPDATES) -> "WorkerPool":
+               slot_updates: int = DEFAULT_SLOT_UPDATES,
+               faults=NO_FAULTS,
+               policy: "RestartPolicy | None" = None) -> "WorkerPool":
     """A pool of the named backend seeded with these shard structures.
 
     The single construction point the pipeline uses at build, restore
@@ -87,12 +108,16 @@ def build_pool(backend: str, structures: list, transport: str = "pickle",
     unpicklable ever crosses the process boundary.  ``transport`` and
     ``slot_updates`` configure the process backend's chunk transport
     (see :class:`ProcessPool`); the serial backend has no transport.
+    ``faults`` is a :class:`~repro.faults.FaultPlan` (inert by
+    default); ``policy`` a :class:`RestartPolicy` enabling supervised
+    restart of crashed shards.
     """
     if backend == "process":
         return ProcessPool([snapshot(shard) for shard in structures],
                            transport=transport,
-                           slot_updates=slot_updates)
-    return SerialPool(structures)
+                           slot_updates=slot_updates,
+                           faults=faults, policy=policy)
+    return SerialPool(structures, faults=faults, policy=policy)
 
 
 class WorkerCrashed(RuntimeError):
@@ -100,8 +125,54 @@ class WorkerCrashed(RuntimeError):
 
     The pipeline that owns the pool is poisoned: ingest, flush,
     checkpoint and merge all raise so a checkpoint taken *after* the
-    crash can never misrepresent what was ingested.
+    crash can never misrepresent what was ingested.  ``shard`` names
+    the dead shard when known — the handle a :class:`RestartPolicy`
+    uses to rebuild exactly that worker.
     """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class RestartPolicy:
+    """How a supervised pool heals crashed shard workers.
+
+    Parameters
+    ----------
+    max_restarts:
+        Per-shard lifetime restart budget; once a shard has spent it,
+        the next crash escalates to the default poisoned state.
+    backoff_s / backoff_factor:
+        The n-th restart of a shard sleeps
+        ``backoff_s * backoff_factor ** n`` first (n counted from 0),
+        so a crash-looping shard backs off exponentially.
+    log_limit:
+        Most in-flight chunks retained per shard before the pool takes
+        an inline per-shard checkpoint to re-base the log — the bound
+        on both replay time and log memory.
+    """
+
+    __slots__ = ("max_restarts", "backoff_s", "backoff_factor",
+                 "log_limit")
+
+    def __init__(self, max_restarts: int = 2, backoff_s: float = 0.01,
+                 backoff_factor: float = 2.0, log_limit: int = 64):
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if backoff_s < 0 or backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and "
+                             "non-shrinking")
+        if log_limit < 1:
+            raise ValueError("log_limit must be >= 1")
+        self.max_restarts = int(max_restarts)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.log_limit = int(log_limit)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before restart number ``attempt`` (0-based)."""
+        return self.backoff_s * self.backoff_factor ** attempt
 
 
 class WorkerPool:
@@ -141,21 +212,84 @@ class WorkerPool:
 
 
 class SerialPool(WorkerPool):
-    """All shards in the calling process; the reference backend."""
+    """All shards in the calling process; the reference backend.
+
+    Supervision (``policy``) exists here too — the injected "crash"
+    tears down the shard's in-memory state exactly as a dead process
+    would, and healing restores the base checkpoint and replays the
+    chunk log — so fault properties can be pinned cheaply in-process
+    before the process backend re-proves them with real workers.
+    """
 
     shares_state = True
 
-    def __init__(self, shards: list):
+    def __init__(self, shards: list, faults=NO_FAULTS,
+                 policy: RestartPolicy | None = None):
         self._shards = list(shards)
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._policy = policy
+        self._fatal = None
+        self.restarts = 0
+        if policy is not None:
+            self._bases = [snapshot(shard) for shard in self._shards]
+            self._logs = [[] for _ in self._shards]
+            self._attempts = [0] * len(self._shards)
 
     def submit(self, shard: int, indices, deltas) -> None:
+        if self._policy is not None:
+            self._log_chunk(shard, indices, deltas)
+        if self._faults.active and self._faults.maybe_fire(WORKER_CRASH):
+            # Simulated crash: the shard dies mid-apply and its
+            # in-memory state is gone, exactly like a worker process.
+            self._shards[shard] = None
+            self._heal_or_raise(shard)
+            return             # the restart replayed the logged chunk
         self._shards[shard].update_many(indices, deltas)
 
+    def _log_chunk(self, shard: int, indices, deltas) -> None:
+        log = self._logs[shard]
+        if len(log) >= self._policy.log_limit:
+            self._rebase(shard)
+        log.append((np.array(indices, copy=True),
+                    np.array(deltas, copy=True)))
+
+    def _rebase(self, shard: int) -> None:
+        self._bases[shard] = snapshot(self._shards[shard])
+        self._logs[shard].clear()
+
+    def _heal_or_raise(self, shard: int) -> None:
+        policy = self._policy
+        if policy is None or self._attempts[shard] >= policy.max_restarts:
+            why = ("supervision is off" if policy is None
+                   else "its restart budget is spent")
+            self._fatal = (f"shard {shard} crashed and {why}; its "
+                           f"state is lost and this pipeline cannot "
+                           f"continue.")
+            raise WorkerCrashed(self._fatal, shard=shard)
+        attempt = self._attempts[shard]
+        self._attempts[shard] += 1
+        time.sleep(policy.delay(attempt))
+        state = restore_blob(self._bases[shard])
+        for indices, deltas in self._logs[shard]:
+            state.update_many(indices, deltas)
+        self._shards[shard] = state
+        self.restarts += 1
+
     def flush(self) -> None:
-        pass                       # submission is application
+        # Submission is application; a supervised flush additionally
+        # re-bases dirty shards so acked chunks are never replayed.
+        if self._policy is not None:
+            for shard in range(len(self._shards)):
+                if self._logs[shard]:
+                    self._rebase(shard)
 
     def snapshots(self) -> list[bytes]:
-        return [snapshot(shard) for shard in self._shards]
+        blobs = [snapshot(shard) for shard in self._shards]
+        if self._policy is not None:
+            self._bases = list(blobs)
+            for log in self._logs:
+                log.clear()
+        return blobs
 
     def structures(self) -> list:
         return list(self._shards)
@@ -192,6 +326,10 @@ def _shard_worker(blob: bytes, inbox, outbox, ring=None,
                 outbox.put(("pong", None))
             elif op == "snapshot":
                 outbox.put(("blob", snapshot(shard)))
+            elif op == "crash":
+                # Injected by a FaultPlan: die exactly as an organic
+                # bug would — traceback shipped, process gone.
+                raise RuntimeError("injected fault: worker.crash")
             elif op == "stop":
                 outbox.put(("stopped", None))
                 return
@@ -200,7 +338,7 @@ def _shard_worker(blob: bytes, inbox, outbox, ring=None,
     except BaseException:
         try:
             outbox.put(("error", traceback.format_exc()))
-        except Exception:
+        except Exception:  # repro-lint: disable=R008 -- the outbox is gone with the parent; a dying worker has nowhere left to report
             pass
 
 
@@ -245,43 +383,65 @@ class ProcessPool(WorkerPool):
         Slot capacity in updates for the shm transport (ignored under
         pickle).  The pipeline passes its chunk size so every routed
         chunk fits.
+    faults:
+        A :class:`~repro.faults.FaultPlan`; the inert default costs
+        one attribute check per submit.
+    policy:
+        A :class:`RestartPolicy` enabling supervised restart of
+        crashed workers (see the module docstring); ``None`` keeps
+        the original crash-poisons-the-pool semantics.
     """
 
     shares_state = False
 
     def __init__(self, blobs: list[bytes], start_method: str | None = None,
                  queue_depth: int = 4, transport: str = "pickle",
-                 slot_updates: int = DEFAULT_SLOT_UPDATES):
+                 slot_updates: int = DEFAULT_SLOT_UPDATES,
+                 faults=NO_FAULTS,
+                 policy: RestartPolicy | None = None):
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, not "
                 f"{transport!r}")
         if start_method is None and "fork" in mp.get_all_start_methods():
             start_method = "fork"
-        context = mp.get_context(start_method)
+        self._context = mp.get_context(start_method)
         self.transport = transport
         self.shm_fallbacks = 0     # shm-transport chunks that rode pickle
+        self.restarts = 0          # successful supervised restarts
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._policy = policy
+        self._queue_depth = queue_depth
+        self._slot_updates = slot_updates
         self._closed = False
         self._fatal = None
         self._workers = []
+        if policy is not None:
+            self._bases = [bytes(blob) for blob in blobs]
+            self._logs = [[] for _ in blobs]
+            self._attempts = [0] * len(blobs)
         try:
             for i, blob in enumerate(blobs):
-                inbox = context.Queue(queue_depth)
-                outbox = context.Queue()
-                ring = free_slots = None
-                if transport == "shm":
-                    ring = SlotRing(queue_depth, slot_updates)
-                    free_slots = context.BoundedSemaphore(queue_depth)
-                process = context.Process(
-                    target=_shard_worker,
-                    args=(blob, inbox, outbox, ring, free_slots),
-                    name=f"repro-shard-{i}", daemon=True)
-                process.start()
-                self._workers.append(
-                    _Worker(process, inbox, outbox, ring, free_slots))
+                self._workers.append(self._spawn(i, blob))
         except Exception:
             self.close()
             raise
+
+    def _spawn(self, index: int, blob: bytes) -> _Worker:
+        """Start one shard worker (fresh queues, fresh ring)."""
+        context = self._context
+        inbox = context.Queue(self._queue_depth)
+        outbox = context.Queue()
+        ring = free_slots = None
+        if self.transport == "shm":
+            ring = SlotRing(self._queue_depth, self._slot_updates)
+            free_slots = context.BoundedSemaphore(self._queue_depth)
+        process = context.Process(
+            target=_shard_worker,
+            args=(blob, inbox, outbox, ring, free_slots),
+            name=f"repro-shard-{index}", daemon=True)
+        process.start()
+        return _Worker(process, inbox, outbox, ring, free_slots)
 
     # -- failure detection ---------------------------------------------------
 
@@ -290,7 +450,7 @@ class ProcessPool(WorkerPool):
         self._fatal = (
             f"shard worker {shard} died; its un-snapshotted state is "
             f"lost and this pipeline cannot continue.  {detail}")
-        return WorkerCrashed(self._fatal)
+        return WorkerCrashed(self._fatal, shard=shard)
 
     def _ensure_alive(self, shard: int) -> None:
         worker = self._workers[shard]
@@ -311,6 +471,70 @@ class ProcessPool(WorkerPool):
         if self._closed:
             raise RuntimeError("worker pool is closed")
 
+    # -- supervision ---------------------------------------------------------
+
+    def _log_chunk(self, shard: int, indices, deltas) -> None:
+        log = self._logs[shard]
+        if len(log) >= self._policy.log_limit:
+            self._rebase(shard)
+        log.append((np.array(indices, copy=True),
+                    np.array(deltas, copy=True)))
+
+    def _rebase(self, shard: int) -> None:
+        """Refresh one shard's restart base so its log can clear."""
+        need_request = True
+        while True:
+            try:
+                if need_request:
+                    self._send(shard, ("snapshot",))
+                    need_request = False
+                blob = self._receive(shard, "blob")
+                break
+            except WorkerCrashed as crash:
+                self._heal_or_raise(crash)
+                need_request = True
+        self._bases[shard] = blob
+        self._logs[shard].clear()
+
+    def _heal_or_raise(self, crash: WorkerCrashed) -> None:
+        """Restart the crashed shard from base + log, or escalate.
+
+        On success the pool is un-poisoned and the rebuilt worker holds
+        exactly the pre-crash state: checkpoint restore is bit-exact
+        and the log replays in original submission order.  A crash
+        during replay re-enters here via the caller's retry loop until
+        the shard's budget is spent.
+        """
+        shard = crash.shard
+        policy = self._policy
+        if policy is None or shard is None \
+                or self._attempts[shard] >= policy.max_restarts:
+            raise crash
+        attempt = self._attempts[shard]
+        self._attempts[shard] += 1
+        self._closed = False       # un-poison: the restart reconstructs
+        self._fatal = None         # the shard's exact state
+        time.sleep(policy.delay(attempt))
+        dead = self._workers[shard]
+        self._teardown(dead)
+        self._workers[shard] = self._spawn(shard, self._bases[shard])
+        for indices, deltas in self._logs[shard]:
+            self._deliver(shard, indices, deltas)
+        self.restarts += 1
+
+    def _teardown(self, worker: _Worker) -> None:
+        """Forcefully reclaim one worker's process, queues and ring."""
+        worker.process.terminate()
+        worker.process.join(_STOP_GRACE_S)
+        for channel in (worker.inbox, worker.outbox):
+            try:
+                channel.cancel_join_thread()
+                channel.close()
+            except Exception:  # repro-lint: disable=R008 -- best-effort queue teardown of a dead worker; nothing to record or recover
+                pass
+        if worker.ring is not None:
+            worker.ring.close()
+
     # -- the WorkerPool interface --------------------------------------------
 
     def _send(self, shard: int, message: tuple) -> None:
@@ -327,6 +551,25 @@ class ProcessPool(WorkerPool):
 
     def submit(self, shard: int, indices, deltas) -> None:
         self._require_open()
+        if self._policy is not None:
+            self._log_chunk(shard, indices, deltas)
+        if self._faults.active and self._faults.maybe_fire(WORKER_CRASH):
+            # Deliver the poison pill: the worker raises and dies with
+            # this chunk still in flight.  Detection may land on this
+            # call or a later one — either way the log replay covers
+            # every chunk since the last rebase.
+            try:
+                self._send(shard, ("crash",))
+            except WorkerCrashed as crash:
+                self._heal_or_raise(crash)
+                return     # the restart replayed the logged chunk
+        try:
+            self._deliver(shard, indices, deltas)
+        except WorkerCrashed as crash:
+            self._heal_or_raise(crash)   # replay delivered this chunk
+
+    def _deliver(self, shard: int, indices, deltas) -> None:
+        """Route one chunk over the worker's transport (no logging)."""
         worker = self._workers[shard]
         if worker.ring is not None:
             indices = np.asarray(indices)
@@ -365,6 +608,13 @@ class ProcessPool(WorkerPool):
         except BaseException:
             worker.free_slots.release()     # the slot was never used
             raise
+        if self._faults.active \
+                and self._faults.maybe_fire(SHM_SLOT_CORRUPT):
+            # A torn control record: the count no longer matches what
+            # was written, so the worker's SlotRing.read rejects it
+            # and the worker crashes (healing replays the chunk).
+            descriptor = (descriptor[0], descriptor[1], -1,
+                          descriptor[3])
         self._send(shard, ("shm", descriptor))
 
     def _receive(self, shard: int, want: str):
@@ -388,19 +638,67 @@ class ProcessPool(WorkerPool):
 
     def flush(self) -> None:
         """Barrier: queues are FIFO, so a pong proves every previously
-        submitted chunk has been applied."""
+        submitted chunk has been applied.
+
+        Supervised pools additionally heal any crash surfacing at the
+        barrier (a restarted shard is re-pinged — its pong then proves
+        the replay too) and re-base dirty shards so that chunks acked
+        by this flush are never replayed by a later restart.
+        """
         self._require_open()
-        for shard in range(len(self._workers)):
-            self._send(shard, ("ping",))
-        for shard in range(len(self._workers)):
-            self._receive(shard, "pong")
+        count = len(self._workers)
+        for shard in range(count):
+            while True:
+                try:
+                    self._send(shard, ("ping",))
+                    break
+                except WorkerCrashed as crash:
+                    self._heal_or_raise(crash)
+        for shard in range(count):
+            need_ping = False
+            while True:
+                try:
+                    if need_ping:
+                        self._send(shard, ("ping",))
+                        need_ping = False
+                    self._receive(shard, "pong")
+                    break
+                except WorkerCrashed as crash:
+                    self._heal_or_raise(crash)
+                    need_ping = True     # the new worker was never pinged
+        if self._policy is not None:
+            for shard in range(count):
+                if self._logs[shard]:
+                    self._rebase(shard)
 
     def snapshots(self) -> list[bytes]:
         self._require_open()
-        for shard in range(len(self._workers)):
-            self._send(shard, ("snapshot",))
-        return [self._receive(shard, "blob")
-                for shard in range(len(self._workers))]
+        count = len(self._workers)
+        for shard in range(count):
+            while True:
+                try:
+                    self._send(shard, ("snapshot",))
+                    break
+                except WorkerCrashed as crash:
+                    self._heal_or_raise(crash)
+        blobs = []
+        for shard in range(count):
+            need_request = False
+            while True:
+                try:
+                    if need_request:
+                        self._send(shard, ("snapshot",))
+                        need_request = False
+                    blobs.append(self._receive(shard, "blob"))
+                    break
+                except WorkerCrashed as crash:
+                    self._heal_or_raise(crash)
+                    need_request = True
+        if self._policy is not None:
+            self._bases = [bytes(blob) for blob in blobs]
+            for log in self._logs:
+                log.clear()
+        return blobs
 
     def structures(self) -> list:
         return [restore_blob(blob) for blob in self.snapshots()]
@@ -423,7 +721,7 @@ class ProcessPool(WorkerPool):
                     break
                 except queue_mod.Full:
                     continue
-                except Exception:
+                except Exception:  # repro-lint: disable=R008 -- a broken pipe at shutdown means the worker is already gone; terminate below
                     break
         for worker in workers:
             worker.process.join(_STOP_GRACE_S)
@@ -434,7 +732,7 @@ class ProcessPool(WorkerPool):
                 try:
                     channel.cancel_join_thread()
                     channel.close()
-                except Exception:
+                except Exception:  # repro-lint: disable=R008 -- best-effort queue teardown at close; nothing to record or recover
                     pass
             if worker.ring is not None:
                 worker.ring.close()    # creator: unmap + unlink

@@ -27,7 +27,7 @@ wire format is the one every checkpoint already uses, so checkpoints,
 replication messages and network requests are the same bytes.
 """
 
-from .client import Answer, NetError, ReproClient
+from .client import Answer, NetError, ReproClient, RetryPolicy
 from .protocol import (
     PROTOCOL_VERSION,
     FrameDecoder,
@@ -55,6 +55,7 @@ __all__ = [
     "ReproClient",
     "ReproServer",
     "Request",
+    "RetryPolicy",
     "ServerThread",
     "SocketFollower",
     "decode_reply",

@@ -34,11 +34,14 @@ final full checkpoint frame to ``checkpoint_out``.
 from __future__ import annotations
 
 import asyncio
+import socket
 import threading
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
+from ..faults import ACK_DELAY, DELTA_TRUNCATE, NO_FAULTS
 from ..wire import WireError
 from .protocol import (FrameDecoder, ProtocolError, decode_request,
                        encode_error, encode_event, encode_response,
@@ -75,6 +78,15 @@ class ReproServer:
     drain_timeout:
         Seconds shutdown waits for connections to finish in-flight
         requests before cancelling them.
+    faults:
+        A :class:`~repro.faults.FaultPlan` for deterministic injection
+        of ack delays and truncated replication frames (inert by
+        default).
+    dedup_window:
+        How many recent ingest request ids (``rid``) the server
+        remembers; a replayed ``rid`` inside the window returns the
+        original ``(epoch_before, epoch)`` ack without re-applying the
+        batch, which is what makes client retries idempotent.
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
@@ -83,7 +95,8 @@ class ReproServer:
                  checkpoint_compress: str = "none",
                  replicate_compress: str = "zlib",
                  max_subscribers: int | None = None,
-                 drain_timeout: float = 5.0):
+                 drain_timeout: float = 5.0,
+                 faults=NO_FAULTS, dedup_window: int = 1024):
         if queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, not {queue_depth}")
@@ -93,6 +106,9 @@ class ReproServer:
         if drain_timeout <= 0:
             raise ValueError(
                 f"drain_timeout must be > 0, not {drain_timeout}")
+        if dedup_window < 1:
+            raise ValueError(
+                f"dedup_window must be >= 1, not {dedup_window}")
         self.service = service
         self.host = host
         self.port = int(port)
@@ -114,6 +130,10 @@ class ReproServer:
         self._repl_epoch: int | None = None
         self._draining = False
         self._shutdown_started = False
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._dedup_window = int(dedup_window)
+        #: rid -> the original ingest ack (bounded, LRU on replay).
+        self._dedup: OrderedDict[str, dict] = OrderedDict()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -148,6 +168,15 @@ class ReproServer:
         self._draining = True
         self._server.close()
         await self._server.wait_closed()
+        # Announce the drain to live subscribers right away: their
+        # handlers sit blocked in read() and would otherwise be cut
+        # at the drain deadline without ever seeing the event.  The
+        # pump flushes the event before the connection closes, so the
+        # follower reads "draining" then a clean EOF — not a
+        # mid-stream break it would burn a resync on.
+        for queue in list(self._subscribers):
+            _offer(queue, encode_event("draining", {
+                "epoch": self.service.pipeline.updates_ingested}))
         if self._tasks:
             _, pending = await asyncio.wait(
                 set(self._tasks), timeout=self._drain_timeout)
@@ -157,9 +186,20 @@ class ReproServer:
                 await asyncio.gather(*pending, return_exceptions=True)
         async with self._lock:
             pipeline = self.service.pipeline
-            pipeline.flush()
-            blob = pipeline.checkpoint(
-                compress=self._checkpoint_compress)
+            if pipeline.healthy:
+                pipeline.flush()
+                blob = pipeline.checkpoint(
+                    compress=self._checkpoint_compress)
+            else:
+                # Degraded to the end: the live pipeline is poisoned
+                # and cannot flush.  Checkpoint the last good snapshot
+                # instead of crashing the drain — a degraded daemon
+                # still shuts down cleanly.
+                blob = None
+                newest = self.service.snapshots.newest()
+                if newest is not None:
+                    blob = self.service.snapshot_frame(
+                        newest, compress=self._checkpoint_compress)
         self.checkpoint_blob = blob
         if self.checkpoint_out is not None:
             self.checkpoint_out.write_bytes(blob)
@@ -187,6 +227,7 @@ class ReproServer:
                 try:
                     frames = decoder.feed(data)
                 except WireError as exc:
+                    self.service.stats.errors += 1
                     await out.put(encode_error(0, "",
                                                type(exc).__name__,
                                                str(exc)))
@@ -225,6 +266,7 @@ class ReproServer:
         try:
             request = decode_request(blob)
         except WireError as exc:
+            self.service.stats.errors += 1
             await out.put(encode_error(0, "", type(exc).__name__,
                                        str(exc)))
             return
@@ -241,9 +283,17 @@ class ReproServer:
         except Exception as exc:
             # A bad request must answer, never kill the connection (or
             # the server): surface the exception type + message.
+            self.service.stats.errors += 1
             await out.put(encode_error(request.id, request.op,
                                        type(exc).__name__, str(exc)))
             return
+        if (request.op == "ingest" and self._faults.active
+                and self._faults.maybe_fire(ACK_DELAY)):
+            # Stall the ack past the client's timeout, *outside* the
+            # lock (other connections keep being served): the batch is
+            # applied but the client never hears it, so the retry it
+            # provokes must land in the dedup window, not re-apply.
+            await asyncio.sleep(self._faults.ack_delay_s)
         await out.put(encode_response(request.id, request.op, result,
                                       meta=meta, sections=sections))
 
@@ -257,16 +307,23 @@ class ReproServer:
         if op == "ping":
             return ({"epoch": pipeline.updates_ingested}, "pong", ())
         if op == "health":
-            return ({}, {
-                "status": "draining" if self._draining else "serving",
+            status, reason = svc.status
+            payload = {
+                "status": ("draining" if self._draining
+                           else "degraded" if status != "ok"
+                           else "serving"),
                 "structure": svc.served_type.__name__,
                 "epoch": pipeline.updates_ingested,
                 "shards": pipeline.shards,
                 "connections": len(self._tasks),
                 "subscribers": len(self._subscribers),
-            }, ())
+            }
+            if status != "ok":
+                payload["reason"] = reason
+            return ({}, payload, ())
         if op == "ready":
-            return ({}, {"ready": not self._draining}, ())
+            ok = not self._draining and svc.status[0] == "ok"
+            return ({}, {"ready": ok}, ())
         if op == "stats":
             return ({"epoch": pipeline.updates_ingested},
                     svc.stats.snapshot().to_dict(), ())
@@ -284,9 +341,22 @@ class ReproServer:
                 raise ProtocolError(
                     f"ingest carries exactly two array sections "
                     f"(indices, deltas), got {len(request.sections)}")
+            rid = args.pop("rid", None)
+            if rid is not None:
+                cached = self._dedup.get(rid)
+                if cached is not None:
+                    # A replayed batch (its ack was lost; the client
+                    # retried): hand back the original ack without
+                    # touching the pipeline.
+                    self._dedup.move_to_end(rid)
+                    return ({"epoch": cached["epoch"]},
+                            dict(cached, deduped=True), ())
             before = pipeline.updates_ingested
             count = svc.ingest(request.sections[0],
                                request.sections[1])
+            # Ingest may have swapped in a recovered pipeline: re-read
+            # it before flushing or reading the acked epoch.
+            pipeline = svc.pipeline
             pipeline.flush()
             epoch = pipeline.updates_ingested
             # Advance the snapshot policy at the batch boundary so the
@@ -294,14 +364,18 @@ class ReproServer:
             # ``keep`` batches) — snapshots otherwise only capture
             # lazily on the next query, which would skip epochs.
             svc.current()
-            return ({"epoch": epoch},
-                    {"count": count, "epoch": epoch,
-                     "epoch_before": before}, ())
+            result = {"count": count, "epoch": epoch,
+                      "epoch_before": before}
+            if rid is not None:
+                self._dedup[rid] = result
+                while len(self._dedup) > self._dedup_window:
+                    self._dedup.popitem(last=False)
+            return ({"epoch": epoch}, result, ())
         # Everything else is the query algebra; the registry rejects
         # unknown/unsupported ops with a message listing what works.
         at = args.pop("at", None)
         snapshot = (svc.snapshots.snapshot_at(int(at)) if at is not None
-                    else svc.current())
+                    else svc.serving_snapshot())
         result = svc.router.query(snapshot, op, **args)
         return ({"epoch": snapshot.epoch}, to_jsonable(result), ())
 
@@ -342,16 +416,56 @@ class ReproServer:
         epoch = pipeline.updates_ingested
         if self._repl_epoch is None or epoch <= self._repl_epoch:
             return
+        if self._repl_epoch not in pipeline.delta_epochs:
+            # The pipeline was rebuilt (service recovery): the delta
+            # chain the subscribers were following no longer exists.
+            # Drop them all — an auto-resyncing follower reconnects
+            # and restarts from a fresh base of the new chain.
+            for queue, writer in list(self._subscribers.items()):
+                del self._subscribers[queue]
+                _hangup(writer)
+            self._repl_epoch = None
+            return
         frame = pipeline.checkpoint(since=self._repl_epoch,
                                     compress=self._replicate_compress)
         self._repl_epoch = epoch
         for queue in list(self._subscribers):
+            if (self._faults.active
+                    and self._faults.maybe_fire(DELTA_TRUNCATE)):
+                # Ship a torn frame, then kill the connection: the
+                # follower sees a partial tail plus EOF and must
+                # resync from a fresh base.  Write the tail directly
+                # (not via the pump) so it lands before the hangup.
+                writer = self._subscribers.pop(queue)
+                writer.transport.write(frame[:max(1, len(frame) // 2)])
+                _hangup(writer)
+                continue
             if not _offer(queue, frame):
                 # A follower that cannot drain its queue must not
                 # stall ingestion: drop it (a resubscribe gets a
                 # fresh base).
                 writer = self._subscribers.pop(queue)
-                writer.close()
+                _hangup(writer)
+
+
+def _hangup(writer) -> None:
+    """Cut a subscriber connection so the peer sees EOF *now*.
+
+    ``transport.close()`` alone only drops this process's reference to
+    the fd — worker processes forked after the connection was accepted
+    (a supervised restart mid-stream) hold inherited duplicates, and no
+    FIN goes out until every copy closes.  ``shutdown()`` acts on the
+    connection itself, cutting through the duplicates.  The transport
+    stays open here on purpose: the connection's own handler wakes on
+    the EOF this sends and runs the one teardown path (pump sentinel,
+    then ``writer.close()``).
+    """
+    sock = writer.transport.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass                    # already dead: nothing to cut
 
 
 def _offer(queue: asyncio.Queue, blob) -> bool:
@@ -413,6 +527,8 @@ class ServerThread:
         self.server = ReproServer(self._service, **self._kwargs)
         try:
             await self.server.start()
+        except asyncio.CancelledError:
+            raise
         except Exception as exc:
             self._startup_error = exc
             self._started.set()

@@ -40,12 +40,13 @@ from ..engine.registry import (QueryCapability, UnsupportedQuery,
 from .autoscale import LoadMonitor, WatermarkPolicy
 from .cache import ResultCache, ServiceStats
 from .router import QueryRouter
-from .service import QueryService
+from .service import QueryService, ServiceDegraded
 from .snapshot import Snapshot, SnapshotManager
 
 __all__ = [
     "LoadMonitor", "QueryCapability", "QueryRouter", "QueryService",
-    "ResultCache", "ServiceStats", "Snapshot", "SnapshotManager",
+    "ResultCache", "ServiceDegraded", "ServiceStats", "Snapshot",
+    "SnapshotManager",
     "UnsupportedQuery", "WatermarkPolicy", "query_algebra",
     "query_capabilities", "query_capability", "register_query",
 ]

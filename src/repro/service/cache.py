@@ -123,6 +123,10 @@ class ServiceStats:
     prewarm_seconds: float = 0.0
     reshards: int = 0
     shm_fallbacks: int = 0         # shm-transport chunks that rode pickle
+    errors: int = 0                # failed requests / poisoned ingests
+    degraded_queries: int = 0      # queries served from a stale snapshot
+    recoveries: int = 0            # pipelines rebuilt from a snapshot
+    worker_restarts: int = 0       # supervised worker heals (cumulative)
     per_op: dict = field(default_factory=dict)   # op -> count
 
     def record_query(self, op: str, seconds: float, cached: bool,
@@ -188,6 +192,10 @@ class ServiceStats:
             "prewarm_seconds": self.prewarm_seconds,
             "reshards": self.reshards,
             "shm_fallbacks": self.shm_fallbacks,
+            "errors": self.errors,
+            "degraded_queries": self.degraded_queries,
+            "recoveries": self.recoveries,
+            "worker_restarts": self.worker_restarts,
             "per_op": dict(self.per_op),
         }
 

@@ -288,6 +288,102 @@ class TestRuleFixtures:
         """})
         assert _lint(root, only={"R007"}) == []
 
+    def test_r008_flags_silent_broad_handlers(self, tmp_path):
+        root = _mini_project(tmp_path, {"net/server.py": """\
+            def serve(conn):
+                try:
+                    conn.step()
+                except Exception:
+                    pass
+
+            def pump(conn):
+                try:
+                    conn.drain()
+                except:
+                    return None
+
+            def multi(conn):
+                try:
+                    conn.go()
+                except (ValueError, Exception):
+                    conn.reset()
+        """})
+        findings = _lint(root, only={"R008"})
+        assert all(f.rule == "R008" for f in findings)
+        assert {f.line for f in findings} == {4, 10, 16}
+        assert any("bare except:" in f.message for f in findings)
+        assert all("re-raises" in f.message for f in findings)
+
+    def test_r008_passes_reraise_and_recording(self, tmp_path):
+        root = _mini_project(tmp_path, {"engine/pool.py": """\
+            import traceback
+
+            class Pool:
+                def narrow(self):
+                    try:
+                        self.step()
+                    except OSError:
+                        pass               # narrow catch: deliberate
+
+                def reraises(self):
+                    try:
+                        self.step()
+                    except Exception:
+                        self.teardown()
+                        raise
+
+                def records_attr(self):
+                    try:
+                        self.step()
+                    except Exception as exc:
+                        self._fatal = str(exc)
+
+                def counts_stat(self):
+                    try:
+                        self.step()
+                    except Exception:
+                        self.stats.errors += 1
+
+                def reports(self):
+                    try:
+                        self.step()
+                    except Exception:
+                        traceback.format_exc()
+
+                def __del__(self):
+                    try:
+                        self.close()
+                    except Exception:
+                        pass               # finalizer: exempt
+        """})
+        assert _lint(root, only={"R008"}) == []
+
+    def test_r008_ignores_files_outside_exception_paths(self, tmp_path):
+        root = _mini_project(tmp_path, {"core/quiet.py": """\
+            def swallow(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+        """})
+        assert _lint(root, only={"R008"}) == []
+
+    def test_r008_suppression_works_and_stale_ones_surface(self, tmp_path):
+        root = _mini_project(tmp_path, {"service/teardown.py": """\
+            def close(thing):
+                try:
+                    thing.close()
+                except Exception:  # repro-lint: disable=R008 -- idempotent teardown
+                    pass
+        """})
+        assert _lint(root, only={"R008"}) == []
+        root2 = _mini_project(tmp_path / "two", {"service/clean.py": """\
+            def close(thing):  # repro-lint: disable=R008 -- nothing here
+                thing.close()
+        """})
+        findings = _lint(root2, only={"R008"})
+        assert [f.rule for f in findings] == ["R000"]
+
     def test_r005_missing_baseline_and_roundtrip(self, tmp_path):
         root = _mini_project(tmp_path, {
             "sketch/leaf.py": """\
@@ -390,7 +486,7 @@ class TestReporting:
         assert finding["rule"] == "R001"
         assert finding["path"].endswith("core/state.py")
         assert finding["line"] == 4
-        assert set(doc["rules"]) == {f"R00{i}" for i in range(1, 8)}
+        assert set(doc["rules"]) == {f"R00{i}" for i in range(1, 9)}
 
     def test_text_output_and_exit_codes(self, tmp_path, capsys):
         root = _mini_project(tmp_path, {"core/ok.py": "X = 1\n"})

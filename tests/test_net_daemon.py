@@ -140,6 +140,55 @@ class TestDaemonLifecycle:
         finally:
             restored.close()
 
+    def test_sigterm_drain_with_live_subscriber(self, tmp_path):
+        """SIGTERM while a follower is subscribed: the follower sees
+        every delta up to the final flushed epoch, then the announced
+        ``draining`` event, then a clean EOF — never a mid-stream cut
+        it would misread as a failure and try to resync from."""
+        from repro.net import SocketFollower
+
+        proc, port, out = _spawn_daemon(tmp_path)
+        rng = np.random.default_rng(2)
+        acked = []
+        try:
+            with ReproClient("127.0.0.1", port) as client, \
+                    SocketFollower("127.0.0.1", port) as follower:
+                for _ in range(3):
+                    indices = rng.integers(0, N, size=120,
+                                           dtype=np.int64)
+                    deltas = rng.integers(-2, 5, size=120,
+                                          dtype=np.int64)
+                    reply = client.ingest(indices, deltas)
+                    acked.append((indices, deltas))
+                follower.wait_for_epoch(reply.result["epoch"],
+                                        timeout=30)
+                stdout = _terminate(proc)
+                # Drain the announced EOF: poll returns, flags the
+                # clean close, and never burns a resync on it.
+                deadline = time.monotonic() + 30
+                while (not follower.closed_by_server
+                       and time.monotonic() < deadline):
+                    follower.poll(timeout=0.2)
+                assert follower.closed_by_server
+                assert follower.resyncs == 0
+                assert follower.epoch == 360
+                assert follower.acked_epochs == (0, 120, 240, 360)
+                assert any(event.get("event") == "draining"
+                           for event in follower.events)
+                follower_bytes = snapshot_structure(follower.merged())
+        finally:
+            if proc.poll() is None:
+                stdout = _terminate(proc)
+        assert "drained at epoch 360" in stdout
+
+        # Follower state == the daemon's final checkpoint == oracle.
+        restored = ShardedPipeline.restore(out.read_bytes())
+        try:
+            final = snapshot_structure(restored.merged())
+        finally:
+            restored.close()
+        assert follower_bytes == final == _oracle_bytes(acked)
+
     def test_daemon_refuses_double_bind(self, tmp_path):
         proc, port, _ = _spawn_daemon(tmp_path)
         try:

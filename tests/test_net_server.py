@@ -253,6 +253,98 @@ class TestReplication:
                 assert exc.value.error == "SubscriberLimit"
 
 
+class TestErrorAccounting:
+
+    def test_failed_requests_count_in_service_errors(self):
+        with _service() as svc, ServerThread(svc) as server, \
+                ReproClient(server.host, server.port) as client:
+            assert svc.stats.errors == 0
+            with pytest.raises(NetError):
+                client.query("no_such_op")
+            with pytest.raises(NetError):
+                client.query("point", wrong_arg=1)
+            assert svc.stats.errors == 2
+            # ... and the error frame still names the failing op.
+            with pytest.raises(NetError) as exc:
+                client.query("no_such_op")
+            assert exc.value.op == "no_such_op"
+
+
+class TestIngestDedup:
+
+    def test_replayed_rid_returns_the_original_ack(self):
+        indices, deltas = _stream(6, length=64)
+        with _service() as svc, ServerThread(svc) as server, \
+                ReproClient(server.host, server.port) as client:
+            first = client.request("ingest", {"rid": "peer:1"},
+                                   sections=(indices, deltas))
+            replay = client.request("ingest", {"rid": "peer:1"},
+                                    sections=(indices, deltas))
+            assert first.result["epoch"] == 64
+            assert replay.result["epoch"] == 64
+            assert replay.result["epoch_before"] \
+                == first.result["epoch_before"]
+            assert replay.result.get("deduped") is True
+            assert "deduped" not in first.result
+            # the batch was applied exactly once
+            assert svc.pipeline.updates_ingested == 64
+
+    def test_distinct_rids_are_not_deduped(self):
+        indices, deltas = _stream(7, length=32)
+        with _service() as svc, ServerThread(svc) as server, \
+                ReproClient(server.host, server.port) as client:
+            client.request("ingest", {"rid": "peer:1"},
+                           sections=(indices, deltas))
+            second = client.request("ingest", {"rid": "peer:2"},
+                                    sections=(indices, deltas))
+            assert second.result["epoch"] == 64
+            assert "deduped" not in second.result
+
+    def test_dedup_window_is_bounded(self):
+        indices, deltas = _stream(8, length=16)
+        with _service() as svc, \
+                ServerThread(svc, dedup_window=2) as server, \
+                ReproClient(server.host, server.port) as client:
+            for k in range(3):
+                client.request("ingest", {"rid": f"peer:{k}"},
+                               sections=(indices, deltas))
+            # peer:0 was evicted (window=2): its replay re-applies.
+            replay = client.request("ingest", {"rid": "peer:0"},
+                                    sections=(indices, deltas))
+            assert "deduped" not in replay.result
+            assert replay.result["epoch"] == 64
+
+    def test_dedup_window_validation(self):
+        from repro.net import ReproServer
+        with _service() as svc:
+            with pytest.raises(ValueError):
+                ReproServer(svc, dedup_window=0)
+
+
+class TestFollowerWaitDeadline:
+
+    def test_wait_for_epoch_deadline_is_wall_clock(self):
+        """The wait budget is a monotonic-clock deadline, not an
+        iteration count: with an injected clock already past the
+        deadline, an unreachable epoch times out after zero polls."""
+        ticks = iter([0.0, 100.0, 200.0, 300.0])
+        with _service() as svc, ServerThread(svc) as server:
+            with SocketFollower(server.host, server.port,
+                                clock=lambda: next(ticks)) as follower:
+                with pytest.raises(TimeoutError) as exc:
+                    follower.wait_for_epoch(10 ** 6, timeout=30)
+                assert "stuck at epoch 0" in str(exc.value)
+
+    def test_wait_for_epoch_still_returns_promptly_on_arrival(self):
+        with _service() as svc, ServerThread(svc) as server, \
+                ReproClient(server.host, server.port) as client:
+            with SocketFollower(server.host, server.port) as follower:
+                indices, deltas = _stream(9, length=40)
+                client.ingest(indices, deltas)
+                assert follower.wait_for_epoch(40, timeout=30) == 1
+                assert follower.epoch == 40
+
+
 class TestGracefulShutdown:
 
     def test_stop_drains_and_checkpoints(self, tmp_path):
